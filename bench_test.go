@@ -1,0 +1,292 @@
+// One benchmark per experiment in the per-experiment index of DESIGN.md
+// (the paper's figures and claims), plus micro-benchmarks used as
+// ablations for the design choices the scheduler relies on. Regenerate
+// EXPERIMENTS.md rows with:
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/vdce-bench            # full-size sweeps with tables
+package vdce
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vdce/internal/core"
+	"vdce/internal/experiments"
+	"vdce/internal/netmodel"
+	"vdce/internal/predict"
+	"vdce/internal/repository"
+	"vdce/internal/sim"
+	"vdce/internal/testbed"
+	"vdce/internal/workload"
+)
+
+// benchExperiment runs one E-suite entry in quick mode per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1_LESBuild(b *testing.B)      { benchExperiment(b, "E1") }
+func BenchmarkE2_SiteScheduler(b *testing.B) { benchExperiment(b, "E2") }
+func BenchmarkE3_HostSelection(b *testing.B) { benchExperiment(b, "E3") }
+func BenchmarkE4_Locality(b *testing.B)      { benchExperiment(b, "E4") }
+func BenchmarkE5_Monitoring(b *testing.B)    { benchExperiment(b, "E5") }
+func BenchmarkE6_FailureDetect(b *testing.B) { benchExperiment(b, "E6") }
+func BenchmarkE7_Reschedule(b *testing.B)    { benchExperiment(b, "E7") }
+func BenchmarkE8_Prediction(b *testing.B)    { benchExperiment(b, "E8") }
+func BenchmarkE9_Scale(b *testing.B)         { benchExperiment(b, "E9") }
+func BenchmarkE10_DataManager(b *testing.B)  { benchExperiment(b, "E10") }
+
+// --- micro-benchmarks / ablations ---
+
+// BenchmarkLevelComputation isolates the priority phase of the site
+// scheduler (the level computation of §3) on a 1000-task layered DAG.
+func BenchmarkLevelComputation(b *testing.B) {
+	w, err := workload.Layered(workload.Params{Tasks: 1000, CCR: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cost := w.CostFunc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.G.Levels(cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredict isolates one Predict(task, R) evaluation — the inner
+// loop of the host selection algorithm.
+func BenchmarkPredict(b *testing.B) {
+	p := predict.Default()
+	task := repository.TaskParams{
+		Name: "t", ComputationOps: 1e9, CommunicationBytes: 1 << 20,
+		RequiredMemBytes: 1 << 26, Parallelizable: true, SerialFraction: 0.1,
+	}
+	host := repository.ResourceInfo{
+		HostName: "h", SpeedFactor: 2, CPULoad: 0.3,
+		TotalMem: 1 << 30, AvailMem: 1 << 29, Status: repository.HostUp,
+	}
+	measured := 3 * time.Second
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Predict(task, host, 4, &measured); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulate isolates the schedule evaluator on a 300-task graph.
+func BenchmarkSimulate(b *testing.B) {
+	w, err := workload.Layered(workload.Params{Tasks: 300, CCR: 1, Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := netmodel.New([]string{"s0"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A fixed synthetic placement across 8 hosts.
+	table := &core.AllocationTable{App: "bench"}
+	order, err := w.G.TopoSort()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, id := range order {
+		table.Entries = append(table.Entries, core.Placement{
+			Task: id, TaskName: w.G.Task(id).Name, Site: "s0",
+			Hosts:     []string{fmt.Sprintf("h%d", int(id)%8)},
+			Predicted: w.Costs[id],
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(w.G, table, net); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLevelPriorityAblation compares the paper's level priority
+// against FIFO ordering on the same cluster — the design choice DESIGN.md
+// calls out (list scheduling priority).
+func BenchmarkLevelPriorityAblation(b *testing.B) {
+	for _, prio := range []struct {
+		name string
+		mode core.PriorityMode
+	}{{"level", core.LevelPriority}, {"fifo", core.FIFOPriority}} {
+		b.Run(prio.name, func(b *testing.B) {
+			// Direct measurement: schedule+simulate one 200-task graph.
+			w, err := workload.Layered(workload.Params{Tasks: 200, CCR: 5, Seed: 3})
+			if err != nil {
+				b.Fatal(err)
+			}
+			env := newBenchCluster(b, 4, 8, 3)
+			if err := env.install(b, w); err != nil {
+				b.Fatal(err)
+			}
+			var makespan time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sched := core.NewScheduler(env.sites[0], env.remotes(), env.net, 3)
+				sched.Priority = prio.mode
+				table, err := sched.Schedule(w.G, w.CostFunc())
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(w.G, table, env.net)
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = res.Makespan
+			}
+			b.ReportMetric(float64(makespan)/1e6, "makespan-ms")
+		})
+	}
+}
+
+// benchCluster is a minimal in-package analogue of the experiments
+// fixture for ablation benches.
+type benchCluster struct {
+	sites []*core.LocalSite
+	net   *netmodel.Network
+	repos []*repository.Repository
+	hosts [][]string
+}
+
+func newBenchCluster(b *testing.B, nSites, hostsPer int, seed int64) *benchCluster {
+	b.Helper()
+	env, err := New(Config{Testbed: testbed.Config{
+		Sites: nSites, HostsPerGroup: hostsPer, Seed: seed,
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(env.Close)
+	c := &benchCluster{net: env.Net, sites: env.Sites}
+	for _, s := range env.TB.Sites {
+		c.repos = append(c.repos, s.Repo)
+		var names []string
+		for _, h := range s.Hosts {
+			names = append(names, h.Name)
+		}
+		c.hosts = append(c.hosts, names)
+	}
+	return c
+}
+
+func (c *benchCluster) install(b *testing.B, w *workload.Graph) error {
+	b.Helper()
+	for i, repo := range c.repos {
+		if err := w.Install(repo, c.hosts[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *benchCluster) remotes() []core.SiteService {
+	var out []core.SiteService
+	for _, s := range c.sites[1:] {
+		out = append(out, s)
+	}
+	return out
+}
+
+// BenchmarkKNearestAblation sweeps the paper's k parameter on a ring —
+// the locality design choice.
+func BenchmarkKNearestAblation(b *testing.B) {
+	for _, k := range []int{0, 1, 3, 7} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			w, err := workload.Layered(workload.Params{Tasks: 100, CCR: 5, Seed: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			env := newBenchCluster(b, 8, 4, 4)
+			env.net.Ring(10*time.Millisecond, 2e6)
+			if err := env.install(b, w); err != nil {
+				b.Fatal(err)
+			}
+			var makespan time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sched := core.NewScheduler(env.sites[0], env.remotes(), env.net, k)
+				table, err := sched.Schedule(w.G, w.CostFunc())
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(w.G, table, env.net)
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = res.Makespan
+			}
+			b.ReportMetric(float64(makespan)/1e6, "makespan-ms")
+		})
+	}
+}
+
+// BenchmarkBlendAblation sweeps the prediction model's measured-history
+// weight — the calibration design choice (DESIGN.md S5). It reports the
+// absolute prediction error against a synthetic ground truth where the
+// catalog over-estimates host speed by 2x.
+func BenchmarkBlendAblation(b *testing.B) {
+	for _, blend := range []float64{0, 0.3, 0.6, 0.9} {
+		b.Run(fmt.Sprintf("blend=%.1f", blend), func(b *testing.B) {
+			p := predict.Default()
+			p.MeasuredBlend = blend
+			task := repository.TaskParams{Name: "t", ComputationOps: 1e8}
+			host := repository.ResourceInfo{
+				HostName: "h", SpeedFactor: 2, // catalog claims 2x
+				TotalMem: 1 << 30, AvailMem: 1 << 30, Status: repository.HostUp,
+			}
+			// Ground truth: the host actually behaves like speed 1.
+			truth := time.Second
+			measured := truth // smoothed history has converged to reality
+			var errNs float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got, err := p.Predict(task, host, 1, &measured)
+				if err != nil {
+					b.Fatal(err)
+				}
+				d := float64(got - truth)
+				if d < 0 {
+					d = -d
+				}
+				errNs = d
+			}
+			b.ReportMetric(errNs/1e6, "abs-err-ms")
+		})
+	}
+}
+
+// BenchmarkAFGTopoSort exercises the structural core on a wide graph.
+func BenchmarkAFGTopoSort(b *testing.B) {
+	w, err := workload.FFT(workload.Params{Tasks: 2000, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := w.G.TopoSort(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

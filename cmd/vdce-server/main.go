@@ -1,0 +1,67 @@
+// Command vdce-server runs one VDCE site: the Site Manager RPC endpoint
+// (scheduling, monitoring, and execution-record traffic) plus the
+// Application Editor HTTP API, over a fabricated testbed site.
+//
+//	vdce-server -hosts 8 -http 127.0.0.1:8470 -rpc 127.0.0.1:0
+//
+// Log in with user "user_k", password "vdce".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"vdce"
+	"vdce/internal/testbed"
+)
+
+func main() {
+	hosts := flag.Int("hosts", 8, "hosts in the site")
+	groups := flag.Int("groups", 2, "groups in the site")
+	httpAddr := flag.String("http", "127.0.0.1:8470", "Application Editor HTTP address")
+	seed := flag.Int64("seed", 1, "testbed seed")
+	execute := flag.Bool("execute", true, "execute submitted applications (not just schedule)")
+	flag.Parse()
+
+	env, err := vdce.New(vdce.Config{
+		Testbed: testbed.Config{
+			Sites: 1, GroupsPerSite: *groups, HostsPerGroup: *hosts, Seed: *seed,
+		},
+		UseRPC:        true,
+		StartDaemons:  true,
+		DilationScale: 1,
+		LoadThreshold: 0.9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer env.Close()
+
+	editorSrv := env.EditorServer(*execute, 0)
+	httpServer := &http.Server{Addr: *httpAddr, Handler: editorSrv.Handler()}
+	go func() {
+		if err := httpServer.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	fmt.Printf("VDCE server for %s\n", env.TB.Sites[0].Name)
+	fmt.Printf("  site manager RPC : %s\n", env.Managers[0].Addr())
+	fmt.Printf("  application editor: http://%s (user_k / vdce)\n", *httpAddr)
+	fmt.Printf("  hosts:\n")
+	for _, h := range env.TB.Sites[0].Hosts {
+		fmt.Printf("    %-28s %s %s speed=%.2f mem=%dMB\n",
+			h.Name, h.Arch, h.OS, h.Speed, h.TotalMem>>20)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("\nshutting down")
+	_ = httpServer.Shutdown(context.Background())
+}

@@ -1,0 +1,119 @@
+// Command vdce-sim schedules a synthetic workload with a chosen policy
+// and prints the allocation table, simulated statistics, and a Gantt
+// chart of the resulting schedule — the fastest way to see the site
+// scheduler's decisions.
+//
+//	vdce-sim -family layered -tasks 40 -ccr 2 -sites 3 -hosts 4
+//	vdce-sim -family fft -tasks 60 -policy minmin -gantt-width 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"vdce/internal/core"
+	"vdce/internal/sim"
+	"vdce/internal/testbed"
+	"vdce/internal/trace"
+	"vdce/internal/workload"
+)
+
+func main() {
+	family := flag.String("family", "layered", "workload family: layered|forkjoin|gauss|fft|intree")
+	tasks := flag.Int("tasks", 30, "task count (or LES order / C3I targets)")
+	ccr := flag.Float64("ccr", 1, "communication-to-computation ratio")
+	sites := flag.Int("sites", 2, "number of sites")
+	hosts := flag.Int("hosts", 4, "hosts per site")
+	k := flag.Int("k", -1, "nearest-neighbor sites (-1 = all)")
+	policy := flag.String("policy", "vdce", "vdce|fifo|random|rrobin|minmin")
+	seed := flag.Int64("seed", 1, "seed")
+	ganttWidth := flag.Int("gantt-width", 80, "gantt chart width")
+	flag.Parse()
+
+	tb, err := testbed.Build(testbed.Config{
+		Sites: *sites, HostsPerGroup: *hosts, Seed: *seed, BaseLoadMax: 0.4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tb.RefreshRepos(time.Unix(0, 0)); err != nil {
+		log.Fatal(err)
+	}
+	var locals []*core.LocalSite
+	var hostNames [][]string
+	for _, s := range tb.Sites {
+		locals = append(locals, core.NewLocalSite(s.Repo))
+		var names []string
+		for _, h := range s.Hosts {
+			names = append(names, h.Name)
+		}
+		hostNames = append(hostNames, names)
+	}
+
+	// Build the workload.
+	var gen func(workload.Params) (*workload.Graph, error)
+	for _, f := range workload.Families() {
+		if f.Name == *family {
+			gen = f.Gen
+		}
+	}
+	if gen == nil {
+		log.Fatalf("unknown family %q (library apps like LES live in examples/)", *family)
+	}
+	w, err := gen(workload.Params{Tasks: *tasks, CCR: *ccr, Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, s := range tb.Sites {
+		if err := w.Install(s.Repo, hostNames[i]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	stats, err := w.G.ComputeStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s: %s\n\n", w.G.Name, stats)
+
+	// Schedule.
+	var table *core.AllocationTable
+	switch *policy {
+	case "vdce", "fifo":
+		kk := *k
+		if kk < 0 {
+			kk = *sites - 1
+		}
+		var remotes []core.SiteService
+		for _, s := range locals[1:] {
+			remotes = append(remotes, s)
+		}
+		sched := core.NewScheduler(locals[0], remotes, tb.Net, kk)
+		if *policy == "fifo" {
+			sched.Priority = core.FIFOPriority
+		}
+		table, err = sched.Schedule(w.G, w.CostFunc())
+	case "random":
+		table, err = core.ScheduleRandom(w.G, locals, tb.Net, *seed)
+	case "rrobin":
+		table, err = core.ScheduleRoundRobin(w.G, locals, tb.Net)
+	case "minmin":
+		table, err = core.ScheduleMinMin(w.G, locals, tb.Net)
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(table)
+
+	// Simulate and render.
+	res, err := sim.Run(w.G, table, tb.Net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+	fmt.Println()
+	fmt.Print(trace.Gantt(trace.FromSim(w.G, table, res), *ganttWidth))
+}

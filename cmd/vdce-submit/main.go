@@ -1,0 +1,114 @@
+// Command vdce-submit authenticates against a VDCE server's Application
+// Editor and submits an application: either a built-in demo graph (the
+// Fig. 1 Linear Equation Solver or the C3I pipeline) or an AFG JSON
+// file.
+//
+//	vdce-submit -server http://127.0.0.1:8470 -app les -n 256
+//	vdce-submit -server http://127.0.0.1:8470 -file app.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"vdce/internal/afg"
+	"vdce/internal/tasklib"
+)
+
+func main() {
+	server := flag.String("server", "http://127.0.0.1:8470", "editor base URL")
+	user := flag.String("user", "user_k", "VDCE user")
+	pass := flag.String("pass", "vdce", "password")
+	app := flag.String("app", "les", "built-in application: les | c3i")
+	n := flag.Int("n", 256, "problem size (LES matrix order / C3I targets)")
+	file := flag.String("file", "", "submit an AFG JSON file instead of a built-in app")
+	flag.Parse()
+
+	var graph *afg.Graph
+	var err error
+	switch {
+	case *file != "":
+		data, rerr := os.ReadFile(*file)
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		graph, err = afg.DecodeJSON(data)
+	case *app == "les":
+		graph, err = tasklib.BuildLinearEquationSolver(*n, 1)
+	case *app == "c3i":
+		graph, err = tasklib.BuildC3IPipeline(*n, 1)
+	default:
+		log.Fatalf("unknown app %q", *app)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	token := login(*server, *user, *pass)
+	id := importGraph(*server, token, graph)
+	fmt.Printf("submitted %q as %s\n", graph.Name, id)
+	result := post(*server, token, "/apps/"+id+"/submit", nil)
+	pretty, _ := json.MarshalIndent(result, "", "  ")
+	fmt.Println(string(pretty))
+}
+
+func login(base, user, pass string) string {
+	body, _ := json.Marshal(map[string]string{"user": user, "password": pass})
+	resp, err := http.Post(base+"/login", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Token string `json:"token"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		log.Fatal(err)
+	}
+	if out.Error != "" {
+		log.Fatalf("login: %s", out.Error)
+	}
+	return out.Token
+}
+
+func importGraph(base, token string, g *afg.Graph) string {
+	data, err := g.EncodeJSON()
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := request(base, token, "POST", "/apps/import", data)
+	id, ok := out["id"].(string)
+	if !ok {
+		log.Fatalf("import failed: %v", out)
+	}
+	return id
+}
+
+func post(base, token, path string, body []byte) map[string]any {
+	return request(base, token, "POST", path, body)
+}
+
+func request(base, token, method, path string, body []byte) map[string]any {
+	req, err := http.NewRequest(method, base+path, bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	if resp.StatusCode >= 300 {
+		log.Fatalf("%s %s: %d %v", method, path, resp.StatusCode, out)
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package afg
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MarshalJSON-compatible encode/decode helpers. Graphs serialize to plain
+// JSON (the editor's wire format) and to GraphViz DOT (for rendering
+// Fig. 1-style pictures).
+
+// EncodeJSON returns the graph as indented JSON.
+func (g *Graph) EncodeJSON() ([]byte, error) {
+	return json.MarshalIndent(g, "", "  ")
+}
+
+// DecodeJSON parses a graph from JSON and validates it.
+func DecodeJSON(data []byte) (*Graph, error) {
+	var g Graph
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("afg: decode: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// DOT renders the graph in GraphViz DOT format. Parallel tasks are drawn
+// as doubled boxes annotated with their node counts, matching how Fig. 1
+// distinguishes LU_Decomposition (parallel, 2 nodes) from the sequential
+// tasks.
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", g.Name)
+	b.WriteString("  rankdir=TB;\n  node [shape=box];\n")
+	for _, t := range g.Tasks {
+		label := t.Name
+		if t.Props.Mode == Parallel {
+			label = fmt.Sprintf("%s\\n(parallel x%d)", t.Name, t.Props.Nodes)
+			fmt.Fprintf(&b, "  t%d [label=\"%s\", peripheries=2];\n", t.ID, label)
+		} else {
+			fmt.Fprintf(&b, "  t%d [label=\"%s\"];\n", t.ID, label)
+		}
+	}
+	for _, e := range g.Edges {
+		if s := g.EdgeSize(e); s > 0 {
+			fmt.Fprintf(&b, "  t%d -> t%d [label=\"%dB\"];\n", e.From, e.To, s)
+		} else {
+			fmt.Fprintf(&b, "  t%d -> t%d;\n", e.From, e.To)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Summary returns a one-line-per-task textual description of the graph,
+// used by the CLI tools and the E1 reproduction output.
+func (g *Graph) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Application %q: %d tasks, %d edges\n", g.Name, len(g.Tasks), len(g.Edges))
+	for _, t := range g.Tasks {
+		parents := g.Parents(t.ID)
+		ps := make([]string, len(parents))
+		for i, p := range parents {
+			ps[i] = g.Tasks[p].Name
+		}
+		sort.Strings(ps)
+		from := "entry"
+		if len(ps) > 0 {
+			from = "after " + strings.Join(ps, ", ")
+		}
+		fmt.Fprintf(&b, "  [%2d] %-24s %-12s x%d  (%s)\n", t.ID, t.Name, t.Props.Mode, t.Props.Nodes, from)
+	}
+	return b.String()
+}

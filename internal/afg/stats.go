@@ -1,0 +1,66 @@
+package afg
+
+import "fmt"
+
+// Stats summarizes a graph's shape for reports and tooling.
+type Stats struct {
+	Tasks   int
+	Edges   int
+	Entries int
+	Exits   int
+	// Depth is the number of tasks on the longest path (hop count + 1).
+	Depth int
+	// Width is the largest number of tasks at the same depth — an upper
+	// bound on exploitable task parallelism.
+	Width int
+	// AvgInDegree is edges / tasks.
+	AvgInDegree float64
+}
+
+// ComputeStats derives Stats; it requires a valid DAG.
+func (g *Graph) ComputeStats() (Stats, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return Stats{}, err
+	}
+	depth := make([]int, len(g.Tasks))
+	maxDepth := 0
+	for _, id := range order {
+		d := 0
+		for _, p := range g.Parents(id) {
+			if depth[p]+1 > d {
+				d = depth[p] + 1
+			}
+		}
+		depth[id] = d
+		if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	widths := make([]int, maxDepth+1)
+	maxWidth := 0
+	for _, d := range depth {
+		widths[d]++
+		if widths[d] > maxWidth {
+			maxWidth = widths[d]
+		}
+	}
+	s := Stats{
+		Tasks:   len(g.Tasks),
+		Edges:   len(g.Edges),
+		Entries: len(g.Entries()),
+		Exits:   len(g.Exits()),
+		Depth:   maxDepth + 1,
+		Width:   maxWidth,
+	}
+	if s.Tasks > 0 {
+		s.AvgInDegree = float64(s.Edges) / float64(s.Tasks)
+	}
+	return s, nil
+}
+
+// String renders the stats on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("tasks=%d edges=%d entries=%d exits=%d depth=%d width=%d avg-in=%.2f",
+		s.Tasks, s.Edges, s.Entries, s.Exits, s.Depth, s.Width, s.AvgInDegree)
+}

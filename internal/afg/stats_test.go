@@ -1,0 +1,50 @@
+package afg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStatsDiamond(t *testing.T) {
+	g, _ := diamond(t)
+	s, err := g.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tasks != 4 || s.Edges != 4 || s.Entries != 1 || s.Exits != 1 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.Depth != 3 { // A at depth 0, B/C at 1, D at 2 -> 3 levels
+		t.Fatalf("depth = %d", s.Depth)
+	}
+	if s.Width != 2 { // B and C side by side
+		t.Fatalf("width = %d", s.Width)
+	}
+	if s.AvgInDegree != 1.0 {
+		t.Fatalf("avg in-degree = %g", s.AvgInDegree)
+	}
+	if !strings.Contains(s.String(), "depth=3") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestComputeStatsChainAndCycle(t *testing.T) {
+	g := NewGraph("chain")
+	a := g.AddTask("A", "l", 1, 1)
+	b := g.AddTask("B", "l", 1, 1)
+	c := g.AddTask("C", "l", 1, 1)
+	_ = g.Connect(a, 0, b, 0, 0)
+	_ = g.Connect(b, 0, c, 0, 0)
+	s, err := g.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Depth != 3 || s.Width != 1 {
+		t.Fatalf("chain stats: %+v", s)
+	}
+	// Cycles are rejected.
+	_ = g.Connect(c, 0, a, 0, 0)
+	if _, err := g.ComputeStats(); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}

@@ -1,0 +1,208 @@
+package afg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TopoSort returns the task IDs in a topological order (Kahn's
+// algorithm; ties broken by ascending ID for determinism). It returns
+// ErrCycle if the graph is not a DAG.
+func (g *Graph) TopoSort() ([]TaskID, error) {
+	n := len(g.Tasks)
+	indeg := make([]int, n)
+	adj := make([][]TaskID, n)
+	for _, e := range g.Edges {
+		if e.From < 0 || int(e.From) >= n || e.To < 0 || int(e.To) >= n {
+			return nil, fmt.Errorf("afg: edge %v out of range", e)
+		}
+		indeg[e.To]++
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	// Min-heap-free deterministic Kahn: keep the frontier sorted.
+	var frontier []TaskID
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, TaskID(i))
+		}
+	}
+	order := make([]TaskID, 0, n)
+	for len(frontier) > 0 {
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		id := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, id)
+		for _, c := range adj[id] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				frontier = append(frontier, c)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, ErrCycle
+	}
+	return order, nil
+}
+
+// CostFunc supplies the computation cost of a task "on the base
+// processor" — the paper takes this from the task-performance database.
+type CostFunc func(TaskID) float64
+
+// Levels computes the level of every node: the largest sum of
+// computation costs along any path from the node to an exit node,
+// including the node's own cost (Kwok & Ahmad's static b-level restricted
+// to computation costs, as the paper specifies). The node with the higher
+// level has the higher scheduling priority.
+func (g *Graph) Levels(cost CostFunc) ([]float64, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	n := len(g.Tasks)
+	levels := make([]float64, n)
+	children := make([][]TaskID, n)
+	for _, e := range g.Edges {
+		children[e.From] = append(children[e.From], e.To)
+	}
+	// Walk in reverse topological order so children are final first.
+	for i := n - 1; i >= 0; i-- {
+		id := order[i]
+		var best float64
+		for _, c := range children[id] {
+			if levels[c] > best {
+				best = levels[c]
+			}
+		}
+		levels[id] = cost(id) + best
+	}
+	return levels, nil
+}
+
+// ByLevelDesc returns all task IDs sorted by descending level, breaking
+// ties by ascending ID. This is the list-scheduling priority order.
+func ByLevelDesc(levels []float64) []TaskID {
+	ids := make([]TaskID, len(levels))
+	for i := range ids {
+		ids[i] = TaskID(i)
+	}
+	sort.SliceStable(ids, func(a, b int) bool {
+		la, lb := levels[ids[a]], levels[ids[b]]
+		if la != lb {
+			return la > lb
+		}
+		return ids[a] < ids[b]
+	})
+	return ids
+}
+
+// CriticalPath returns the task sequence realizing the maximum level from
+// any entry node, i.e. the computation-cost critical path, along with its
+// total cost.
+func (g *Graph) CriticalPath(cost CostFunc) ([]TaskID, float64, error) {
+	levels, err := g.Levels(cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Start at the entry (or any node) with the max level.
+	best := TaskID(-1)
+	for i := range g.Tasks {
+		if best == -1 || levels[i] > levels[best] {
+			best = TaskID(i)
+		}
+	}
+	if best == -1 {
+		return nil, 0, fmt.Errorf("afg: empty graph")
+	}
+	total := levels[best]
+	var path []TaskID
+	cur := best
+	for {
+		path = append(path, cur)
+		children := g.Children(cur)
+		if len(children) == 0 {
+			break
+		}
+		// Follow the child whose level dominates: level(cur) = cost(cur) + max child level.
+		next := children[0]
+		for _, c := range children[1:] {
+			if levels[c] > levels[next] {
+				next = c
+			}
+		}
+		cur = next
+	}
+	return path, total, nil
+}
+
+// ReadySet maintains the paper's ready-tasks set: tasks all of whose
+// parents have been scheduled. Initialize with the entry nodes, then
+// Complete tasks as the site scheduler assigns them.
+type ReadySet struct {
+	g         *Graph
+	remaining []int // unscheduled-parent count per task
+	ready     map[TaskID]bool
+	done      map[TaskID]bool
+}
+
+// NewReadySet builds a ReadySet whose initial members are the graph's
+// entry nodes.
+func NewReadySet(g *Graph) *ReadySet {
+	rs := &ReadySet{
+		g:         g,
+		remaining: make([]int, len(g.Tasks)),
+		ready:     make(map[TaskID]bool),
+		done:      make(map[TaskID]bool),
+	}
+	seen := make(map[[2]TaskID]bool)
+	for _, e := range g.Edges {
+		key := [2]TaskID{e.From, e.To}
+		if !seen[key] { // count distinct parents, not edges
+			seen[key] = true
+			rs.remaining[e.To]++
+		}
+	}
+	for i := range g.Tasks {
+		if rs.remaining[i] == 0 {
+			rs.ready[TaskID(i)] = true
+		}
+	}
+	return rs
+}
+
+// Ready returns the current ready tasks sorted by ID.
+func (rs *ReadySet) Ready() []TaskID {
+	out := make([]TaskID, 0, len(rs.ready))
+	for id := range rs.ready {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Contains reports whether id is currently ready.
+func (rs *ReadySet) Contains(id TaskID) bool { return rs.ready[id] }
+
+// Empty reports whether no tasks remain ready.
+func (rs *ReadySet) Empty() bool { return len(rs.ready) == 0 }
+
+// Complete removes id from the ready set and adds any children whose
+// parents are now all complete, mirroring step 7 of the site scheduler.
+// It returns an error if id was not ready (a scheduler bug).
+func (rs *ReadySet) Complete(id TaskID) error {
+	if !rs.ready[id] {
+		return fmt.Errorf("afg: task %d completed but not ready", id)
+	}
+	delete(rs.ready, id)
+	rs.done[id] = true
+	for _, c := range rs.g.Children(id) {
+		rs.remaining[c]--
+		if rs.remaining[c] == 0 {
+			rs.ready[c] = true
+		}
+	}
+	return nil
+}
+
+// DoneCount returns how many tasks have been completed.
+func (rs *ReadySet) DoneCount() int { return len(rs.done) }

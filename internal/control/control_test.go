@@ -1,0 +1,339 @@
+package control
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"vdce/internal/afg"
+	"vdce/internal/core"
+	"vdce/internal/netmodel"
+	"vdce/internal/protocol"
+	"vdce/internal/repository"
+	"vdce/internal/tasklib"
+	"vdce/internal/testbed"
+)
+
+// startSite builds a one-site testbed and serves its Site Manager.
+func startSite(t *testing.T, name string, hosts int) (*SiteManager, *testbed.Testbed) {
+	t.Helper()
+	tb, err := testbed.Build(testbed.Config{Sites: 1, HostsPerGroup: hosts, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	site := tb.Sites[0]
+	site.Repo.Site = name // align repo site name with caller's label
+	names := make([]string, len(site.Hosts))
+	for i, h := range site.Hosts {
+		names[i] = h.Name
+	}
+	if err := tasklib.Default().InstallInto(site.Repo, names); err != nil {
+		t.Fatal(err)
+	}
+	sm, err := StartSiteManager(core.NewLocalSite(site.Repo), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sm.Close() })
+	return sm, tb
+}
+
+func TestRemoteHostSelectionMatchesLocal(t *testing.T) {
+	sm, _ := startSite(t, "siteX", 4)
+	remote, err := DialSite("siteX", sm.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	if err := remote.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := tasklib.BuildLinearEquationSolver(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range g.Tasks {
+		task.Props.MachineType = "" // the random testbed may lack SUN Solaris
+	}
+	viaRPC, err := remote.HostSelection(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := sm.Local().HostSelection(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaRPC) != len(direct) {
+		t.Fatalf("selection sizes differ: %d vs %d", len(viaRPC), len(direct))
+	}
+	for id, want := range direct {
+		got := viaRPC[id]
+		if got.Err != want.Err || got.Predicted != want.Predicted || len(got.Hosts) != len(want.Hosts) {
+			t.Fatalf("task %d: rpc %+v != local %+v", id, got, want)
+		}
+		for i := range want.Hosts {
+			if got.Hosts[i] != want.Hosts[i] {
+				t.Fatalf("task %d host %d: %s != %s", id, i, got.Hosts[i], want.Hosts[i])
+			}
+		}
+	}
+}
+
+func TestRemoteSiteInScheduler(t *testing.T) {
+	// Local site is slow; remote site (over real TCP RPC) is identical.
+	// The distributed scheduler must function with a wire remote.
+	smA, _ := startSite(t, "siteA", 2)
+	smB, _ := startSite(t, "siteB", 2)
+	remoteB, err := DialSite("siteB", smB.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remoteB.Close()
+
+	net, err := netmodel.New([]string{"siteA", "siteB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := tasklib.BuildC3IPipeline(32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := core.NewScheduler(smA.Local(), []core.SiteService{remoteB}, net, 1)
+	cost := func(id afg.TaskID) float64 {
+		d, err := smA.Local().Oracle.BaseTimeFor(g.Task(id).Name)
+		if err != nil {
+			t.Fatalf("cost: %v", err)
+		}
+		return d.Seconds()
+	}
+	table, err := sched.Schedule(g, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadAndFailureRPC(t *testing.T) {
+	sm, tb := startSite(t, "siteW", 2)
+	remote, err := DialSite("siteW", sm.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	rep := RemoteReporter{Site: remote}
+	host := tb.Sites[0].Hosts[0].Name
+
+	batch := protocol.WorkloadBatch{Site: "siteW", Group: "g", Samples: []protocol.HostSample{
+		{Host: host, Sample: repository.WorkloadSample{CPULoad: 0.42, AvailMemBytes: 123, Time: time.Unix(10, 0)}},
+	}}
+	if err := rep.ApplyWorkloads(batch); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := sm.Repo().Resources.Host(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CPULoad != 0.42 || rec.AvailMem != 123 {
+		t.Fatalf("workload not applied: %+v", rec)
+	}
+	if sm.WorkloadUpdates() != 1 {
+		t.Fatalf("updates = %d", sm.WorkloadUpdates())
+	}
+
+	if err := rep.ApplyFailure(protocol.FailureNotice{Host: host, Detected: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ = sm.Repo().Resources.Host(host)
+	if rec.Status != repository.HostDown {
+		t.Fatal("failure not applied")
+	}
+	if err := rep.ApplyRecovery(protocol.RecoveryNotice{Host: host, Detected: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ = sm.Repo().Resources.Host(host)
+	if rec.Status != repository.HostUp {
+		t.Fatal("recovery not applied")
+	}
+
+	// Execution records flow into the task-performance database.
+	var ack protocol.Ack
+	err = remote.client.Call(protocol.SiteServiceName+".RecordExecution",
+		protocol.ExecutionRecord{Task: "LU_Decomposition", Host: host, Elapsed: time.Second, At: time.Now()}, &ack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := sm.Repo().TaskPerf.MeasuredTime("LU_Decomposition", host); !ok || d != time.Second {
+		t.Fatalf("execution record lost: %v %v", d, ok)
+	}
+
+	// Resource queries.
+	var list protocol.ResourceList
+	if err := remote.client.Call(protocol.SiteServiceName+".Resources",
+		protocol.ResourceQuery{UpOnly: true}, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Hosts) != 2 {
+		t.Fatalf("resources = %d hosts", len(list.Hosts))
+	}
+}
+
+func TestGroupManagerFiltering(t *testing.T) {
+	sm, tb := startSite(t, "siteF", 1)
+	h := tb.Sites[0].Hosts[0]
+	gm := NewGroupManager("siteF", "g0", []*testbed.Host{h}, sm, time.Hour)
+	gm.Threshold = 0.1
+	gm.MemThreshold = 1 << 40 // effectively disable the memory trigger
+
+	mk := func(load float64) repository.WorkloadSample {
+		return repository.WorkloadSample{CPULoad: load, AvailMemBytes: 1 << 20, Time: time.Now()}
+	}
+	// First sample always forwards.
+	if err := gm.Ingest(h.Name, mk(0.30)); err != nil {
+		t.Fatal(err)
+	}
+	// Small change suppressed.
+	if err := gm.Ingest(h.Name, mk(0.35)); err != nil {
+		t.Fatal(err)
+	}
+	// Big change forwards.
+	if err := gm.Ingest(h.Name, mk(0.55)); err != nil {
+		t.Fatal(err)
+	}
+	recv, fwd, _ := gm.Stats()
+	if recv != 3 || fwd != 2 {
+		t.Fatalf("received=%d forwarded=%d, want 3/2", recv, fwd)
+	}
+	if sm.WorkloadUpdates() != 2 {
+		t.Fatalf("site saw %d updates, want 2", sm.WorkloadUpdates())
+	}
+	// The suppressed value never reached the repository.
+	rec, _ := sm.Repo().Resources.Host(h.Name)
+	if rec.CPULoad != 0.55 {
+		t.Fatalf("repo load = %g", rec.CPULoad)
+	}
+}
+
+func TestGroupManagerCumulativeDrift(t *testing.T) {
+	// Regression guard: the filter compares against the last REPORTED
+	// value, so a slow drift must eventually be reported.
+	sm, tb := startSite(t, "siteD", 1)
+	h := tb.Sites[0].Hosts[0]
+	gm := NewGroupManager("siteD", "g0", []*testbed.Host{h}, sm, time.Hour)
+	gm.Threshold = 0.1
+	gm.MemThreshold = 1 << 40
+	load := 0.0
+	for i := 0; i < 10; i++ {
+		load += 0.03 // each step below threshold, total far above
+		if err := gm.Ingest(h.Name, repository.WorkloadSample{CPULoad: load, AvailMemBytes: 1, Time: time.Now()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, fwd, _ := gm.Stats()
+	if fwd < 3 {
+		t.Fatalf("drift never reported: forwarded=%d", fwd)
+	}
+}
+
+func TestGroupManagerEchoDetection(t *testing.T) {
+	sm, tb := startSite(t, "siteE", 3)
+	hosts := tb.Sites[0].Hosts
+	gm := NewGroupManager("siteE", "g0", hosts, sm, time.Hour)
+
+	if err := gm.EchoRound(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if sm.FailureReports() != 0 {
+		t.Fatal("healthy round produced reports")
+	}
+	hosts[1].Fail()
+	if err := gm.EchoRound(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if !gm.Down(hosts[1].Name) {
+		t.Fatal("failure not detected")
+	}
+	rec, _ := sm.Repo().Resources.Host(hosts[1].Name)
+	if rec.Status != repository.HostDown {
+		t.Fatal("repo not updated on failure")
+	}
+	// No duplicate reports while still down.
+	before := sm.FailureReports()
+	if err := gm.EchoRound(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if sm.FailureReports() != before {
+		t.Fatal("duplicate failure report")
+	}
+	// Recovery flips it back.
+	hosts[1].Recover()
+	if err := gm.EchoRound(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if gm.Down(hosts[1].Name) {
+		t.Fatal("recovery not detected")
+	}
+	rec, _ = sm.Repo().Resources.Host(hosts[1].Name)
+	if rec.Status != repository.HostUp {
+		t.Fatal("repo not updated on recovery")
+	}
+}
+
+func TestGroupManagerRunLoop(t *testing.T) {
+	sm, tb := startSite(t, "siteR", 2)
+	hosts := tb.Sites[0].Hosts
+	gm := NewGroupManager("siteR", "g0", hosts, sm, 5*time.Millisecond)
+	gm.EchoPeriod = 5 * time.Millisecond
+	gm.Threshold = 0 // forward everything
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { gm.Run(ctx); close(done) }()
+
+	// Fail one host mid-run, then wait for the daemon loops to act.
+	time.Sleep(30 * time.Millisecond)
+	hosts[0].Fail()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		rec, _ := sm.Repo().Resources.Host(hosts[0].Name)
+		if rec.Status == repository.HostDown {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	<-done
+	rec, _ := sm.Repo().Resources.Host(hosts[0].Name)
+	if rec.Status != repository.HostDown {
+		t.Fatal("run loop never detected the failure")
+	}
+	if sm.WorkloadUpdates() == 0 {
+		t.Fatal("run loop forwarded no workloads")
+	}
+	recv, _, echoes := gm.Stats()
+	if recv == 0 || echoes == 0 {
+		t.Fatalf("stats: recv=%d echoes=%d", recv, echoes)
+	}
+}
+
+func TestDialSiteFailure(t *testing.T) {
+	if _, err := DialSite("x", "127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestSiteManagerDoubleClose(t *testing.T) {
+	sm, _ := startSite(t, "siteC", 1)
+	if err := sm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sm.Close(); err != nil {
+		t.Fatal("second close errored")
+	}
+	if !strings.Contains(sm.Addr(), ":") {
+		t.Fatal("addr unreadable after close")
+	}
+}

@@ -1,0 +1,98 @@
+package control
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"vdce/internal/protocol"
+)
+
+func TestDSMOverRPC(t *testing.T) {
+	sm, _ := startSite(t, "siteDSM", 1)
+	remote, err := DialSite("siteDSM", sm.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	// Empty read.
+	if _, found, err := remote.DSMRead("page"); err != nil || found {
+		t.Fatalf("fresh read: %v %v", found, err)
+	}
+	// Write then read across the wire.
+	if err := remote.DSMWrite("page", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := remote.DSMRead("page")
+	if err != nil || !found || string(v) != "v1" {
+		t.Fatalf("read back: %q %v %v", v, found, err)
+	}
+	// The in-process view is the same store.
+	local, found, err := sm.DSM().Read("page")
+	if err != nil || !found || string(local) != "v1" {
+		t.Fatalf("local view: %q %v %v", local, found, err)
+	}
+	// CAS semantics over RPC.
+	ok, _, err := remote.DSMCompareAndSwap("page", []byte("v1"), []byte("v2"))
+	if err != nil || !ok {
+		t.Fatalf("cas: %v %v", ok, err)
+	}
+	ok, cur, err := remote.DSMCompareAndSwap("page", []byte("v1"), []byte("v3"))
+	if err != nil || ok || string(cur) != "v2" {
+		t.Fatalf("stale cas: %v %q %v", ok, cur, err)
+	}
+	// Unknown op is rejected server-side.
+	var resp protocol.DSMReply
+	if err := remote.client.Call(protocol.SiteServiceName+".DSM",
+		protocol.DSMRequest{Op: "explode"}, &resp); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestDSMOverRPCConcurrentCounters(t *testing.T) {
+	sm, _ := startSite(t, "siteDSM2", 1)
+	var clients []*RemoteSite
+	for i := 0; i < 4; i++ {
+		c, err := DialSite("siteDSM2", sm.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+	if err := clients[0].DSMWrite("ctr", []byte("0")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *RemoteSite) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				for {
+					cur, _, err := c.DSMRead("ctr")
+					if err != nil {
+						t.Errorf("read: %v", err)
+						return
+					}
+					var n int
+					fmt.Sscanf(string(cur), "%d", &n)
+					ok, _, err := c.DSMCompareAndSwap("ctr", cur, []byte(fmt.Sprint(n+1)))
+					if err != nil {
+						t.Errorf("cas: %v", err)
+						return
+					}
+					if ok {
+						break
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	v, _, err := clients[0].DSMRead("ctr")
+	if err != nil || string(v) != "100" {
+		t.Fatalf("counter = %q (%v), want 100 — sequential consistency broken", v, err)
+	}
+}

@@ -1,0 +1,316 @@
+// Package control implements the VDCE Control Manager's Resource
+// Controller: the Site Manager that owns a site's repository, serves the
+// site's Application Scheduler interface over TCP RPC, and applies
+// monitoring/failure updates; and the Group Manager that aggregates
+// Monitor daemon measurements, forwards only significant changes, and
+// detects host failures with periodic echoes.
+package control
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"sync/atomic"
+
+	"vdce/internal/afg"
+	"vdce/internal/core"
+	"vdce/internal/protocol"
+	"vdce/internal/repository"
+	"vdce/internal/services"
+)
+
+// SiteManager is the server software running on a VDCE Server: it
+// bridges VDCE modules to the site databases and handles inter-site
+// communication (the paper's description verbatim). It exposes the
+// local Application Scheduler's host selection to remote sites via RPC,
+// and hosts the site's distributed-shared-memory service (the paper's
+// §5 extension).
+type SiteManager struct {
+	site  *core.LocalSite
+	lis   net.Listener
+	srv   *rpc.Server
+	dsm   *services.DSM
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	closed atomic.Bool
+	// counters for the monitoring experiments
+	workloadUpdates atomic.Int64
+	failureReports  atomic.Int64
+}
+
+// StartSiteManager serves the site's RPC interface on addr
+// ("127.0.0.1:0" for an ephemeral port). The returned manager owns the
+// listener; Close releases it.
+func StartSiteManager(site *core.LocalSite, addr string) (*SiteManager, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("control: listen: %w", err)
+	}
+	sm := &SiteManager{
+		site:  site,
+		lis:   lis,
+		srv:   rpc.NewServer(),
+		dsm:   services.NewDSM(),
+		conns: make(map[net.Conn]struct{}),
+	}
+	if err := sm.srv.RegisterName(protocol.SiteServiceName, &siteRPC{sm: sm}); err != nil {
+		lis.Close()
+		sm.dsm.Close()
+		return nil, fmt.Errorf("control: register: %w", err)
+	}
+	sm.wg.Add(1)
+	go sm.acceptLoop()
+	return sm, nil
+}
+
+func (sm *SiteManager) acceptLoop() {
+	defer sm.wg.Done()
+	for {
+		conn, err := sm.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		sm.mu.Lock()
+		sm.conns[conn] = struct{}{}
+		sm.mu.Unlock()
+		sm.wg.Add(1)
+		go func() {
+			defer sm.wg.Done()
+			sm.srv.ServeConn(conn)
+			sm.mu.Lock()
+			delete(sm.conns, conn)
+			sm.mu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// Addr returns the manager's listen address (for clients).
+func (sm *SiteManager) Addr() string { return sm.lis.Addr().String() }
+
+// SiteName returns the managed site's name.
+func (sm *SiteManager) SiteName() string { return sm.site.SiteName() }
+
+// Repo exposes the site repository (local components share it).
+func (sm *SiteManager) Repo() *repository.Repository { return sm.site.Repo }
+
+// Local returns the site's in-process scheduler service.
+func (sm *SiteManager) Local() *core.LocalSite { return sm.site }
+
+// Close stops serving and waits for in-flight connections to finish.
+func (sm *SiteManager) Close() error {
+	if sm.closed.Swap(true) {
+		return nil
+	}
+	err := sm.lis.Close()
+	sm.mu.Lock()
+	for c := range sm.conns {
+		c.Close()
+	}
+	sm.mu.Unlock()
+	sm.wg.Wait()
+	sm.dsm.Close()
+	return err
+}
+
+// DSM exposes the site's shared-memory service to in-process callers.
+func (sm *SiteManager) DSM() *services.DSM { return sm.dsm }
+
+// WorkloadUpdates reports how many per-host workload writes the manager
+// has applied (E5 accounting).
+func (sm *SiteManager) WorkloadUpdates() int64 { return sm.workloadUpdates.Load() }
+
+// FailureReports reports how many failure/recovery notices arrived.
+func (sm *SiteManager) FailureReports() int64 { return sm.failureReports.Load() }
+
+// ApplyWorkloads is the local (non-RPC) path Group Managers in the same
+// process use: update the resource-performance database with the
+// monitoring information.
+func (sm *SiteManager) ApplyWorkloads(batch protocol.WorkloadBatch) error {
+	for _, s := range batch.Samples {
+		if err := sm.site.Repo.Resources.UpdateWorkload(s.Host, s.Sample); err != nil {
+			return err
+		}
+		sm.workloadUpdates.Add(1)
+	}
+	return nil
+}
+
+// ApplyFailure marks a host down in the resource-performance database.
+func (sm *SiteManager) ApplyFailure(n protocol.FailureNotice) error {
+	sm.failureReports.Add(1)
+	return sm.site.Repo.Resources.SetStatus(n.Host, repository.HostDown)
+}
+
+// ApplyRecovery marks a host up again.
+func (sm *SiteManager) ApplyRecovery(n protocol.RecoveryNotice) error {
+	sm.failureReports.Add(1)
+	return sm.site.Repo.Resources.SetStatus(n.Host, repository.HostUp)
+}
+
+// RecordExecution updates the task-performance database with the
+// execution time after an application execution completes.
+func (sm *SiteManager) RecordExecution(rec protocol.ExecutionRecord) error {
+	return sm.site.Repo.TaskPerf.RecordExecution(rec.Task, rec.Host, rec.Elapsed, rec.At)
+}
+
+// siteRPC is the RPC surface; kept separate so only intended methods are
+// exported to the network.
+type siteRPC struct {
+	sm *SiteManager
+}
+
+// HostSelection runs the Host Selection Algorithm for a multicast AFG.
+func (r *siteRPC) HostSelection(req protocol.HostSelectionRequest, resp *protocol.HostSelectionResponse) error {
+	g, err := afg.DecodeJSON(req.GraphJSON)
+	if err != nil {
+		return err
+	}
+	sel, err := r.sm.site.HostSelection(g)
+	if err != nil {
+		return err
+	}
+	resp.Site = r.sm.SiteName()
+	resp.Choices = make(map[int]core.HostChoice, len(sel))
+	for id, c := range sel {
+		resp.Choices[int(id)] = c
+	}
+	return nil
+}
+
+// ReportWorkloads applies a Group Manager's filtered batch.
+func (r *siteRPC) ReportWorkloads(batch protocol.WorkloadBatch, _ *protocol.Ack) error {
+	return r.sm.ApplyWorkloads(batch)
+}
+
+// ReportFailure applies an echo-detected failure.
+func (r *siteRPC) ReportFailure(n protocol.FailureNotice, _ *protocol.Ack) error {
+	return r.sm.ApplyFailure(n)
+}
+
+// ReportRecovery applies a detected recovery.
+func (r *siteRPC) ReportRecovery(n protocol.RecoveryNotice, _ *protocol.Ack) error {
+	return r.sm.ApplyRecovery(n)
+}
+
+// RecordExecution feeds the task-performance database.
+func (r *siteRPC) RecordExecution(rec protocol.ExecutionRecord, _ *protocol.Ack) error {
+	return r.sm.RecordExecution(rec)
+}
+
+// Resources answers resource queries (used by tools and tests).
+func (r *siteRPC) Resources(q protocol.ResourceQuery, resp *protocol.ResourceList) error {
+	var hosts []repository.ResourceInfo
+	if q.UpOnly {
+		hosts = r.sm.site.Repo.Resources.UpHosts()
+	} else {
+		hosts = r.sm.site.Repo.Resources.Hosts()
+	}
+	for _, h := range hosts {
+		if q.Group != "" && h.Group != q.Group {
+			continue
+		}
+		resp.Hosts = append(resp.Hosts, h)
+	}
+	return nil
+}
+
+// Ping answers liveness probes (inter-site coordination heartbeat).
+func (r *siteRPC) Ping(_ protocol.Ack, _ *protocol.Ack) error { return nil }
+
+// DSM serves the site's shared-memory pages to remote processes —
+// the sequentially consistent store of the paper's §5 extension.
+func (r *siteRPC) DSM(req protocol.DSMRequest, resp *protocol.DSMReply) error {
+	switch req.Op {
+	case "read":
+		v, found, err := r.sm.dsm.Read(req.Key)
+		if err != nil {
+			return err
+		}
+		resp.Value, resp.Found = v, found
+		return nil
+	case "write":
+		return r.sm.dsm.Write(req.Key, req.Value)
+	case "cas":
+		ok, cur, err := r.sm.dsm.CompareAndSwap(req.Key, req.Old, req.Value)
+		if err != nil {
+			return err
+		}
+		resp.Swapped, resp.Value = ok, cur
+		return nil
+	default:
+		return fmt.Errorf("control: unknown DSM op %q", req.Op)
+	}
+}
+
+// RemoteSite adapts a VDCE server's RPC endpoint to core.SiteService, so
+// a local Application Scheduler can multicast AFGs to remote sites
+// exactly as it calls its own host selection.
+type RemoteSite struct {
+	name   string
+	client *rpc.Client
+}
+
+// DialSite connects to a remote Site Manager.
+func DialSite(name, addr string) (*RemoteSite, error) {
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("control: dial %s: %w", addr, err)
+	}
+	return &RemoteSite{name: name, client: client}, nil
+}
+
+// SiteName implements core.SiteService.
+func (r *RemoteSite) SiteName() string { return r.name }
+
+// HostSelection implements core.SiteService over the wire.
+func (r *RemoteSite) HostSelection(g *afg.Graph) (core.Selection, error) {
+	data, err := json.Marshal(g)
+	if err != nil {
+		return nil, err
+	}
+	var resp protocol.HostSelectionResponse
+	if err := r.client.Call(protocol.SiteServiceName+".HostSelection",
+		protocol.HostSelectionRequest{GraphJSON: data}, &resp); err != nil {
+		return nil, err
+	}
+	sel := make(core.Selection, len(resp.Choices))
+	for id, c := range resp.Choices {
+		sel[afg.TaskID(id)] = c
+	}
+	return sel, nil
+}
+
+// Ping checks liveness.
+func (r *RemoteSite) Ping() error {
+	var a protocol.Ack
+	return r.client.Call(protocol.SiteServiceName+".Ping", protocol.Ack{}, &a)
+}
+
+// DSMRead fetches a shared-memory page from the remote site.
+func (r *RemoteSite) DSMRead(key string) ([]byte, bool, error) {
+	var resp protocol.DSMReply
+	err := r.client.Call(protocol.SiteServiceName+".DSM", protocol.DSMRequest{Op: "read", Key: key}, &resp)
+	return resp.Value, resp.Found, err
+}
+
+// DSMWrite stores a shared-memory page on the remote site.
+func (r *RemoteSite) DSMWrite(key string, value []byte) error {
+	var resp protocol.DSMReply
+	return r.client.Call(protocol.SiteServiceName+".DSM", protocol.DSMRequest{Op: "write", Key: key, Value: value}, &resp)
+}
+
+// DSMCompareAndSwap atomically replaces a page if it still equals old.
+func (r *RemoteSite) DSMCompareAndSwap(key string, old, value []byte) (bool, []byte, error) {
+	var resp protocol.DSMReply
+	err := r.client.Call(protocol.SiteServiceName+".DSM",
+		protocol.DSMRequest{Op: "cas", Key: key, Old: old, Value: value}, &resp)
+	return resp.Swapped, resp.Value, err
+}
+
+// Close releases the connection.
+func (r *RemoteSite) Close() error { return r.client.Close() }

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vdce/internal/afg"
+	"vdce/internal/netmodel"
+)
+
+// The baseline policies the evaluation compares the VDCE scheduler
+// against (experiment E2). All of them fill the same AllocationTable
+// structure, computing Predicted values with the same prediction oracle
+// so that simulated comparisons isolate the placement policy.
+
+// baselineEnv bundles what every baseline needs.
+type baselineEnv struct {
+	g     *afg.Graph
+	sites []*LocalSite
+	net   *netmodel.Network
+}
+
+func (e *baselineEnv) check() error {
+	if len(e.sites) == 0 {
+		return ErrNoSites
+	}
+	return e.g.Validate()
+}
+
+// transferFor sums the input transfer times of task id if placed on
+// destSite, given prior placements.
+func (e *baselineEnv) transferFor(id afg.TaskID, destSite string, placedSite map[afg.TaskID]string) (time.Duration, error) {
+	var xfer time.Duration
+	for _, edge := range e.g.InEdges(id) {
+		src, ok := placedSite[edge.From]
+		if !ok {
+			return 0, fmt.Errorf("core: parent %d of %d unplaced", edge.From, id)
+		}
+		t, err := e.net.TransferTime(e.g.EdgeSize(edge), src, destSite)
+		if err != nil {
+			return 0, err
+		}
+		xfer += t
+	}
+	return xfer, nil
+}
+
+// siteOptions lists, per site, the host set a task would get there (best
+// hosts for the deterministic policies, or all ranked hosts for random).
+type siteOption struct {
+	site   *LocalSite
+	ranked []RankedHost
+	nodes  int
+}
+
+func (e *baselineEnv) optionsFor(task *afg.Task) []siteOption {
+	var out []siteOption
+	for _, s := range e.sites {
+		ranked := s.RankedHosts(task)
+		nodes := s.requiredNodes(task)
+		if len(ranked) < nodes || len(ranked) == 0 {
+			continue
+		}
+		out = append(out, siteOption{site: s, ranked: ranked, nodes: nodes})
+	}
+	return out
+}
+
+// ScheduleRandom places every task on a uniformly random eligible site
+// and random eligible host set within it.
+func ScheduleRandom(g *afg.Graph, sites []*LocalSite, net *netmodel.Network, seed int64) (*AllocationTable, error) {
+	env := &baselineEnv{g: g, sites: sites, net: net}
+	if err := env.check(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	table := &AllocationTable{App: g.Name + " [random]"}
+	placed := make(map[afg.TaskID]string)
+	for _, id := range order {
+		task := g.Task(id)
+		opts := env.optionsFor(task)
+		if len(opts) == 0 {
+			return nil, fmt.Errorf("%w: task %d (%s)", ErrNoEligibleSite, id, task.Name)
+		}
+		opt := opts[rng.Intn(len(opts))]
+		perm := rng.Perm(len(opt.ranked))[:opt.nodes]
+		hosts := make([]string, opt.nodes)
+		for i, pi := range perm {
+			hosts[i] = opt.ranked[pi].Name
+		}
+		pred, err := opt.site.PredictSet(task, hosts)
+		if err != nil {
+			return nil, err
+		}
+		xfer, err := env.transferFor(id, opt.site.SiteName(), placed)
+		if err != nil {
+			return nil, err
+		}
+		table.Entries = append(table.Entries, Placement{
+			Task: id, TaskName: task.Name, Site: opt.site.SiteName(),
+			Hosts: hosts, Predicted: pred, TransferIn: xfer,
+		})
+		placed[id] = opt.site.SiteName()
+	}
+	return table, table.Validate(g)
+}
+
+// ScheduleRoundRobin deals tasks across sites in rotation, and across
+// each site's eligible hosts in rotation, ignoring predictions entirely.
+func ScheduleRoundRobin(g *afg.Graph, sites []*LocalSite, net *netmodel.Network) (*AllocationTable, error) {
+	env := &baselineEnv{g: g, sites: sites, net: net}
+	if err := env.check(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	table := &AllocationTable{App: g.Name + " [round-robin]"}
+	placed := make(map[afg.TaskID]string)
+	siteCursor := 0
+	hostCursor := make(map[string]int)
+	for _, id := range order {
+		task := g.Task(id)
+		opts := env.optionsFor(task)
+		if len(opts) == 0 {
+			return nil, fmt.Errorf("%w: task %d (%s)", ErrNoEligibleSite, id, task.Name)
+		}
+		opt := opts[siteCursor%len(opts)]
+		siteCursor++
+		name := opt.site.SiteName()
+		hosts := make([]string, opt.nodes)
+		for i := range hosts {
+			hosts[i] = opt.ranked[(hostCursor[name]+i)%len(opt.ranked)].Name
+		}
+		// Distinct hosts are required for multi-node placements; with
+		// wraparound collisions, fall back to the first nodes hosts.
+		if opt.nodes > 1 {
+			seen := make(map[string]bool)
+			distinct := true
+			for _, h := range hosts {
+				if seen[h] {
+					distinct = false
+					break
+				}
+				seen[h] = true
+			}
+			if !distinct {
+				for i := range hosts {
+					hosts[i] = opt.ranked[i].Name
+				}
+			}
+		}
+		hostCursor[name] += opt.nodes
+		pred, err := opt.site.PredictSet(task, hosts)
+		if err != nil {
+			return nil, err
+		}
+		xfer, err := env.transferFor(id, name, placed)
+		if err != nil {
+			return nil, err
+		}
+		table.Entries = append(table.Entries, Placement{
+			Task: id, TaskName: task.Name, Site: name,
+			Hosts: hosts, Predicted: pred, TransferIn: xfer,
+		})
+		placed[id] = name
+	}
+	return table, table.Validate(g)
+}
+
+// ScheduleMinMin implements the classic min-min heuristic: repeatedly
+// compute, for every ready task, its minimal estimated completion time
+// over all sites (host availability + data arrival + prediction), then
+// commit the task achieving the overall minimum.
+func ScheduleMinMin(g *afg.Graph, sites []*LocalSite, net *netmodel.Network) (*AllocationTable, error) {
+	env := &baselineEnv{g: g, sites: sites, net: net}
+	if err := env.check(); err != nil {
+		return nil, err
+	}
+	table := &AllocationTable{App: g.Name + " [min-min]"}
+	placed := make(map[afg.TaskID]string)
+	finish := make(map[afg.TaskID]time.Duration)
+	hostFree := make(map[string]time.Duration)
+	rs := afg.NewReadySet(g)
+
+	for !rs.Empty() {
+		type best struct {
+			id    afg.TaskID
+			site  *LocalSite
+			hosts []string
+			pred  time.Duration
+			xfer  time.Duration
+			ect   time.Duration
+		}
+		var pick *best
+		for _, id := range rs.Ready() {
+			task := g.Task(id)
+			for _, opt := range env.optionsFor(task) {
+				hosts := make([]string, opt.nodes)
+				for i := 0; i < opt.nodes; i++ {
+					hosts[i] = opt.ranked[i].Name
+				}
+				pred, err := opt.site.PredictSet(task, hosts)
+				if err != nil {
+					continue
+				}
+				var dataReady time.Duration
+				var xferSum time.Duration
+				for _, edge := range g.InEdges(id) {
+					t, err := net.TransferTime(g.EdgeSize(edge), placed[edge.From], opt.site.SiteName())
+					if err != nil {
+						continue
+					}
+					xferSum += t
+					if arr := finish[edge.From] + t; arr > dataReady {
+						dataReady = arr
+					}
+				}
+				start := dataReady
+				for _, h := range hosts {
+					if hostFree[h] > start {
+						start = hostFree[h]
+					}
+				}
+				ect := start + pred
+				if pick == nil || ect < pick.ect {
+					pick = &best{id: id, site: opt.site, hosts: hosts, pred: pred, xfer: xferSum, ect: ect}
+				}
+			}
+		}
+		if pick == nil {
+			return nil, fmt.Errorf("%w: no ready task schedulable", ErrNoEligibleSite)
+		}
+		table.Entries = append(table.Entries, Placement{
+			Task: pick.id, TaskName: g.Task(pick.id).Name, Site: pick.site.SiteName(),
+			Hosts: pick.hosts, Predicted: pick.pred, TransferIn: pick.xfer,
+		})
+		placed[pick.id] = pick.site.SiteName()
+		finish[pick.id] = pick.ect
+		for _, h := range pick.hosts {
+			hostFree[h] = pick.ect
+		}
+		if err := rs.Complete(pick.id); err != nil {
+			return nil, err
+		}
+	}
+	return table, table.Validate(g)
+}

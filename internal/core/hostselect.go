@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vdce/internal/afg"
+	"vdce/internal/predict"
+	"vdce/internal/repository"
+)
+
+// LocalSite runs the Host Selection Algorithm (Fig. 3) against one
+// site's repository:
+//
+//  1. Retrieve task-specific parameters of AFG tasks from the
+//     task-performance database.
+//  2. Retrieve resource-specific parameters from the
+//     resource-performance database.
+//  3. Set task-queue = all AFG tasks.
+//  4. For each task, evaluate Predict(task, R) for all R and assign the
+//     task to the R that minimizes it.
+//
+// For parallel tasks the algorithm "is updated to select the number of
+// machines required within the site": it ranks hosts by single-node
+// prediction, takes the required count, and predicts the parallel time
+// on the slowest chosen machine.
+type LocalSite struct {
+	Repo   *repository.Repository
+	Oracle *predict.Oracle
+}
+
+// NewLocalSite returns a LocalSite with a default-constant oracle.
+func NewLocalSite(repo *repository.Repository) *LocalSite {
+	return &LocalSite{Repo: repo, Oracle: predict.NewOracle(repo)}
+}
+
+// SiteName implements SiteService.
+func (s *LocalSite) SiteName() string { return s.Repo.Site }
+
+// eligibleHosts applies the editor preferences and databases: the host
+// must be up, must have the task installed (task-constraints database),
+// and must match any machine-type or host-name preference.
+func (s *LocalSite) eligibleHosts(task *afg.Task) []repository.ResourceInfo {
+	var out []repository.ResourceInfo
+	for _, h := range s.Repo.Resources.UpHosts() {
+		if !s.Repo.Constraints.HasTask(task.Name, h.HostName) {
+			continue
+		}
+		if mt := task.Props.MachineType; mt != "" && mt != afg.AnyMachine && h.MachineType() != mt {
+			continue
+		}
+		if hp := task.Props.Host; hp != "" && hp != afg.AnyMachine && h.HostName != hp {
+			continue
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// HostSelection implements SiteService (Fig. 3).
+func (s *LocalSite) HostSelection(g *afg.Graph) (Selection, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	sel := make(Selection, len(g.Tasks))
+	for _, task := range g.Tasks {
+		sel[task.ID] = s.chooseFor(task)
+	}
+	return sel, nil
+}
+
+// RankedHost is one eligible host with its predicted single-node
+// execution time for a task.
+type RankedHost struct {
+	Name   string
+	Single time.Duration
+}
+
+// RankedHosts returns the task's eligible hosts sorted by ascending
+// predicted single-node time (ties by name). An empty slice means the
+// site cannot run the task.
+func (s *LocalSite) RankedHosts(task *afg.Task) []RankedHost {
+	params, err := s.Repo.TaskPerf.Params(task.Name)
+	if err != nil {
+		return nil
+	}
+	var out []RankedHost
+	for _, h := range s.eligibleHosts(task) {
+		var measured *time.Duration
+		if d, ok := s.Repo.TaskPerf.MeasuredTime(task.Name, h.HostName); ok {
+			measured = &d
+		}
+		d, err := s.Oracle.P.Predict(params, h, 1, measured)
+		if err != nil {
+			continue // saturated or down hosts drop out
+		}
+		out = append(out, RankedHost{Name: h.HostName, Single: d})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Single != out[j].Single {
+			return out[i].Single < out[j].Single
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// requiredNodes returns how many machines the task needs on this site.
+func (s *LocalSite) requiredNodes(task *afg.Task) int {
+	params, err := s.Repo.TaskPerf.Params(task.Name)
+	if err != nil {
+		return 1
+	}
+	if task.Props.Mode == afg.Parallel && params.Parallelizable {
+		return task.Props.Nodes
+	}
+	return 1
+}
+
+// PredictSet predicts the execution time of task on the given host set
+// (nodes = len(hosts)); for multi-host sets the prediction is taken on
+// the slowest member, since the parallel task finishes when its slowest
+// share does.
+func (s *LocalSite) PredictSet(task *afg.Task, hosts []string) (time.Duration, error) {
+	if len(hosts) == 0 {
+		return 0, fmt.Errorf("core: PredictSet with no hosts")
+	}
+	params, err := s.Repo.TaskPerf.Params(task.Name)
+	if err != nil {
+		return 0, err
+	}
+	var worst time.Duration
+	var worstName string
+	for _, name := range hosts {
+		h, err := s.Repo.Resources.Host(name)
+		if err != nil {
+			return 0, err
+		}
+		var measured *time.Duration
+		if d, ok := s.Repo.TaskPerf.MeasuredTime(task.Name, name); ok {
+			measured = &d
+		}
+		d, err := s.Oracle.P.Predict(params, h, 1, measured)
+		if err != nil {
+			return 0, err
+		}
+		if d >= worst {
+			worst, worstName = d, name
+		}
+	}
+	h, err := s.Repo.Resources.Host(worstName)
+	if err != nil {
+		return 0, err
+	}
+	var measured *time.Duration
+	if d, ok := s.Repo.TaskPerf.MeasuredTime(task.Name, worstName); ok {
+		measured = &d
+	}
+	return s.Oracle.P.Predict(params, h, len(hosts), measured)
+}
+
+// chooseFor runs the per-task body of Fig. 3.
+func (s *LocalSite) chooseFor(task *afg.Task) HostChoice {
+	if _, err := s.Repo.TaskPerf.Params(task.Name); err != nil {
+		return HostChoice{Site: s.SiteName(), Err: err.Error()}
+	}
+	ranked := s.RankedHosts(task)
+	if len(ranked) == 0 {
+		return HostChoice{Site: s.SiteName(), Err: fmt.Sprintf("no eligible host for %s", task.Name)}
+	}
+	nodes := s.requiredNodes(task)
+	if nodes <= 1 {
+		return HostChoice{
+			Site:      s.SiteName(),
+			Hosts:     []string{ranked[0].Name},
+			Predicted: ranked[0].Single,
+		}
+	}
+	if nodes > len(ranked) {
+		return HostChoice{Site: s.SiteName(), Err: fmt.Sprintf(
+			"parallel task %s wants %d nodes, site has %d eligible", task.Name, nodes, len(ranked))}
+	}
+	names := make([]string, nodes)
+	for i := 0; i < nodes; i++ {
+		names[i] = ranked[i].Name
+	}
+	d, err := s.PredictSet(task, names)
+	if err != nil {
+		return HostChoice{Site: s.SiteName(), Err: err.Error()}
+	}
+	return HostChoice{Site: s.SiteName(), Hosts: names, Predicted: d}
+}

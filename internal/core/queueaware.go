@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"vdce/internal/afg"
+	"vdce/internal/netmodel"
+)
+
+// ScheduleQueueAware is the extension E2 motivates: the paper's site
+// scheduler with one change — host selection accounts for the work this
+// application has already placed on each machine. For every ready task
+// (still taken in level-priority order, as §3 prescribes) it minimizes
+// the *estimated finish time*
+//
+//	EFT(task, hosts) = max(dataReady, hostFree(hosts)) + Predict(task, hosts)
+//
+// instead of the bare Predict. This closes the serialization gap the
+// published Fig. 3 has on wide CPU-bound graphs (see EXPERIMENTS.md E2)
+// while keeping every other element — levels, prediction, transfer
+// charging, nearest-site multicast semantics — identical.
+func ScheduleQueueAware(g *afg.Graph, sites []*LocalSite, net *netmodel.Network, cost afg.CostFunc) (*AllocationTable, error) {
+	if len(sites) == 0 {
+		return nil, ErrNoSites
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	levels, err := g.Levels(cost)
+	if err != nil {
+		return nil, err
+	}
+	table := &AllocationTable{App: g.Name + " [queue-aware]"}
+	placedSite := make(map[afg.TaskID]string, len(g.Tasks))
+	finish := make(map[afg.TaskID]time.Duration, len(g.Tasks))
+	hostFree := make(map[string]time.Duration)
+	rs := afg.NewReadySet(g)
+
+	for !rs.Empty() {
+		// Highest level first, ties by ID — the paper's priority rule.
+		ready := rs.Ready()
+		id := ready[0]
+		for _, cand := range ready[1:] {
+			if levels[cand] > levels[id] || (levels[cand] == levels[id] && cand < id) {
+				id = cand
+			}
+		}
+		task := g.Task(id)
+
+		type option struct {
+			site  *LocalSite
+			hosts []string
+			pred  time.Duration
+			xfer  time.Duration
+			eft   time.Duration
+		}
+		var best *option
+		for _, site := range sites {
+			ranked := site.RankedHosts(task)
+			nodes := site.requiredNodes(task)
+			if len(ranked) < nodes || len(ranked) == 0 {
+				continue
+			}
+			// Consider each eligible host (or host window for parallel
+			// tasks) — cheapest EFT wins within the site.
+			limit := len(ranked) - nodes + 1
+			for start := 0; start < limit; start++ {
+				hosts := make([]string, nodes)
+				for i := 0; i < nodes; i++ {
+					hosts[i] = ranked[start+i].Name
+				}
+				pred, err := site.PredictSet(task, hosts)
+				if err != nil {
+					continue
+				}
+				var dataReady, xferSum time.Duration
+				ok := true
+				for _, e := range g.InEdges(id) {
+					t, err := net.TransferTime(g.EdgeSize(e), placedSite[e.From], site.SiteName())
+					if err != nil {
+						ok = false
+						break
+					}
+					xferSum += t
+					if arr := finish[e.From] + t; arr > dataReady {
+						dataReady = arr
+					}
+				}
+				if !ok {
+					continue
+				}
+				startAt := dataReady
+				for _, h := range hosts {
+					if hostFree[h] > startAt {
+						startAt = hostFree[h]
+					}
+				}
+				eft := startAt + pred
+				if best == nil || eft < best.eft {
+					best = &option{site: site, hosts: hosts, pred: pred, xfer: xferSum, eft: eft}
+				}
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("%w: task %d (%s)", ErrNoEligibleSite, id, task.Name)
+		}
+		table.Entries = append(table.Entries, Placement{
+			Task: id, TaskName: task.Name, Site: best.site.SiteName(),
+			Hosts: best.hosts, Predicted: best.pred, TransferIn: best.xfer,
+			Level: levels[id],
+		})
+		placedSite[id] = best.site.SiteName()
+		finish[id] = best.eft
+		for _, h := range best.hosts {
+			hostFree[h] = best.eft
+		}
+		if err := rs.Complete(id); err != nil {
+			return nil, err
+		}
+	}
+	return table, table.Validate(g)
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"vdce/internal/afg"
+	"vdce/internal/netmodel"
+	"vdce/internal/tasklib"
+)
+
+func TestQueueAwareSpreadsIndependentTasks(t *testing.T) {
+	// One site, two equal hosts, four independent equal tasks: the
+	// paper's Fig. 3 puts all four on the same "best" host; the
+	// queue-aware variant must use both machines.
+	s := mkSite(t, "s1", []hostSpec{{name: "a", speed: 1}, {name: "b", speed: 1}})
+	net, err := netmodel.New([]string{"s1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := afg.NewGraph("indep")
+	for i := 0; i < 4; i++ {
+		g.AddTask("Matrix_Generate", "matrix", 0, 1)
+	}
+	cost := costFrom(t, s, g)
+
+	paper := NewScheduler(s, nil, net, 0)
+	paperTable, err := paper.Schedule(g, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperHosts := make(map[string]bool)
+	for _, e := range paperTable.Entries {
+		paperHosts[e.Hosts[0]] = true
+	}
+	if len(paperHosts) != 1 {
+		t.Fatalf("expected the published algorithm to serialize, used %v", paperHosts)
+	}
+
+	qa, err := ScheduleQueueAware(g, []*LocalSite{s}, net, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qa.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	qaHosts := make(map[string]bool)
+	for _, e := range qa.Entries {
+		qaHosts[e.Hosts[0]] = true
+	}
+	if len(qaHosts) != 2 {
+		t.Fatalf("queue-aware variant used %v, want both hosts", qaHosts)
+	}
+}
+
+func TestQueueAwareRespectsPrecedenceAndLevels(t *testing.T) {
+	s := mkSite(t, "s1", []hostSpec{{name: "a", speed: 2}, {name: "b", speed: 1}})
+	net, _ := netmodel.New([]string{"s1"})
+	g, err := tasklib.BuildLinearEquationSolver(32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range g.Tasks {
+		task.Props.MachineType = ""
+	}
+	table, err := ScheduleQueueAware(g, []*LocalSite{s}, net, costFrom(t, s, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Levels recorded and non-increasing along the table where tasks are
+	// independent is not guaranteed, but the first entry must carry the
+	// highest level of any entry task.
+	if table.Entries[0].Level <= 0 {
+		t.Fatal("levels not recorded")
+	}
+}
+
+func TestQueueAwareErrors(t *testing.T) {
+	net, _ := netmodel.New([]string{"s1"})
+	g, _ := oneTaskGraph(t, "Matrix_Generate", afg.Properties{})
+	if _, err := ScheduleQueueAware(g, nil, net, func(afg.TaskID) float64 { return 1 }); err == nil {
+		t.Fatal("no sites accepted")
+	}
+	s := mkSite(t, "s1", []hostSpec{{name: "a", speed: 1}})
+	g2, _ := oneTaskGraph(t, "Matrix_Generate", afg.Properties{Host: "missing"})
+	if _, err := ScheduleQueueAware(g2, []*LocalSite{s}, net, func(afg.TaskID) float64 { return 1 }); err == nil {
+		t.Fatal("unplaceable task accepted")
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"vdce/internal/afg"
+	"vdce/internal/netmodel"
+)
+
+// PriorityMode selects the list-scheduling priority. LevelPriority is the
+// paper's heuristic; FIFOPriority is the ablation baseline that scans the
+// ready set in task-ID order.
+type PriorityMode int
+
+const (
+	// LevelPriority orders ready tasks by descending level (Fig. 2 + §3).
+	LevelPriority PriorityMode = iota
+	// FIFOPriority orders ready tasks by ascending task ID.
+	FIFOPriority
+)
+
+// Scheduler is one site's Application Scheduler (Fig. 2). Local is the
+// site it runs on; Remote lists the reachable peer sites (their
+// schedulers), of which the K nearest by network latency participate in
+// each scheduling round; Net supplies transfer-time estimates.
+type Scheduler struct {
+	Local  SiteService
+	Remote []SiteService
+	Net    *netmodel.Network
+	// K is the paper's "k nearest VDCE neighbor sites". K <= 0 schedules
+	// on the local site alone.
+	K int
+	// Priority selects the list-scheduling order; LevelPriority unless
+	// overridden for ablations.
+	Priority PriorityMode
+}
+
+// NewScheduler returns a level-priority scheduler over the given sites.
+func NewScheduler(local SiteService, remote []SiteService, net *netmodel.Network, k int) *Scheduler {
+	return &Scheduler{Local: local, Remote: remote, Net: net, K: k}
+}
+
+// neighborServices resolves the K nearest remote sites that have a
+// reachable SiteService (Fig. 2 step 2).
+func (s *Scheduler) neighborServices() ([]SiteService, error) {
+	if s.K <= 0 || len(s.Remote) == 0 {
+		return nil, nil
+	}
+	byName := make(map[string]SiteService, len(s.Remote))
+	for _, r := range s.Remote {
+		byName[r.SiteName()] = r
+	}
+	names, err := s.Net.Nearest(s.Local.SiteName(), len(byName))
+	if err != nil {
+		return nil, err
+	}
+	var out []SiteService
+	for _, n := range names {
+		if svc, ok := byName[n]; ok {
+			out = append(out, svc)
+			if len(out) == s.K {
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// multicast runs HostSelection on every site concurrently (Fig. 2 steps
+// 3-5). Sites that error are dropped with their error recorded.
+func multicast(g *afg.Graph, sites []SiteService) (map[string]Selection, map[string]error) {
+	selections := make(map[string]Selection, len(sites))
+	errs := make(map[string]error)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, svc := range sites {
+		wg.Add(1)
+		go func(svc SiteService) {
+			defer wg.Done()
+			sel, err := svc.HostSelection(g)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				errs[svc.SiteName()] = err
+				return
+			}
+			selections[svc.SiteName()] = sel
+		}(svc)
+	}
+	wg.Wait()
+	return selections, errs
+}
+
+// Schedule runs the Site Scheduler Algorithm (Fig. 2) and returns the
+// resource allocation table. cost supplies each task's level-computation
+// cost (the base-processor time from the task-performance database).
+func (s *Scheduler) Schedule(g *afg.Graph, cost afg.CostFunc) (*AllocationTable, error) {
+	if s.Local == nil {
+		return nil, ErrNoSites
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	// Priorities are computed before the scheduling run (§3).
+	levels, err := g.Levels(cost)
+	if err != nil {
+		return nil, err
+	}
+
+	// Steps 2-5: gather host selections from the local site and the k
+	// nearest remote sites.
+	neighbors, err := s.neighborServices()
+	if err != nil {
+		return nil, err
+	}
+	sites := append([]SiteService{s.Local}, neighbors...)
+	selections, siteErrs := multicast(g, sites)
+	if len(selections) == 0 {
+		return nil, fmt.Errorf("core: every site failed host selection: %v", siteErrs)
+	}
+
+	// Steps 6-7: walk the ready set in priority order.
+	table := &AllocationTable{App: g.Name}
+	assignedSite := make(map[afg.TaskID]string, len(g.Tasks))
+	rs := afg.NewReadySet(g)
+	local := s.Local.SiteName()
+
+	for !rs.Empty() {
+		id := s.nextReady(rs, levels)
+		task := g.Task(id)
+
+		// Candidate sites: those whose host selection produced a real
+		// choice for this task.
+		var cands []string
+		for name, sel := range selections {
+			if c, ok := sel[id]; ok && c.Err == "" && len(c.Hosts) > 0 {
+				cands = append(cands, name)
+			}
+		}
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("%w: task %d (%s)", ErrNoEligibleSite, id, task.Name)
+		}
+		sortCandidates(cands, local)
+
+		inEdges := g.InEdges(id)
+		noInput := len(inEdges) == 0 // entry task or no dataflow input
+
+		totals := make([]time.Duration, len(cands))
+		transfers := make([]time.Duration, len(cands))
+		for i, siteName := range cands {
+			choice := selections[siteName][id]
+			if noInput {
+				totals[i] = choice.Predicted
+				continue
+			}
+			// Time_total(task, Sj) = sum of transfer times from each
+			// parent's site + Predict(task, Rj).
+			var xfer time.Duration
+			for _, e := range inEdges {
+				parentSite, ok := assignedSite[e.From]
+				if !ok {
+					return nil, fmt.Errorf("core: parent %d of task %d not yet assigned", e.From, id)
+				}
+				t, err := s.Net.TransferTime(g.EdgeSize(e), parentSite, siteName)
+				if err != nil {
+					return nil, err
+				}
+				xfer += t
+			}
+			transfers[i] = xfer
+			totals[i] = choice.Predicted + xfer
+		}
+		best := pickMin(totals)
+		chosen := selections[cands[best]][id]
+		table.Entries = append(table.Entries, Placement{
+			Task:       id,
+			TaskName:   task.Name,
+			Site:       chosen.Site,
+			Hosts:      append([]string(nil), chosen.Hosts...),
+			Predicted:  chosen.Predicted,
+			TransferIn: transfers[best],
+			Level:      levels[id],
+		})
+		assignedSite[id] = chosen.Site
+		if err := rs.Complete(id); err != nil {
+			return nil, err
+		}
+	}
+	if err := table.Validate(g); err != nil {
+		return nil, err
+	}
+	return table, nil
+}
+
+// nextReady picks the next task from the ready set according to the
+// configured priority mode.
+func (s *Scheduler) nextReady(rs *afg.ReadySet, levels []float64) afg.TaskID {
+	ready := rs.Ready()
+	switch s.Priority {
+	case FIFOPriority:
+		return ready[0] // Ready() is ID-sorted
+	default:
+		sort.SliceStable(ready, func(i, j int) bool {
+			li, lj := levels[ready[i]], levels[ready[j]]
+			if li != lj {
+				return li > lj
+			}
+			return ready[i] < ready[j]
+		})
+		return ready[0]
+	}
+}

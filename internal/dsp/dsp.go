@@ -1,0 +1,188 @@
+// Package dsp provides the signal-processing kernels behind the VDCE
+// "signal" task library: radix-2 FFT, power spectra, FIR filtering, and
+// peak detection. Like linalg, it is deterministic and stdlib-only so
+// task-performance measurements are reproducible.
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// ErrNotPowerOfTwo is returned by the radix-2 FFT for bad lengths.
+var ErrNotPowerOfTwo = errors.New("dsp: length is not a power of two")
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// FFT computes the in-place-free radix-2 decimation-in-time FFT of x.
+// len(x) must be a power of two.
+func FFT(x []complex128) ([]complex128, error) {
+	n := len(x)
+	if !IsPowerOfTwo(n) {
+		return nil, fmt.Errorf("%w: %d", ErrNotPowerOfTwo, n)
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			out[i], out[j] = out[j], out[i]
+		}
+		mask := n >> 1
+		for ; j&mask != 0; mask >>= 1 {
+			j &^= mask
+		}
+		j |= mask
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := -2 * math.Pi / float64(size)
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := cmplx.Exp(complex(0, step*float64(k)))
+				a := out[start+k]
+				b := out[start+k+half] * w
+				out[start+k] = a + b
+				out[start+k+half] = a - b
+			}
+		}
+	}
+	return out, nil
+}
+
+// IFFT computes the inverse FFT.
+func IFFT(x []complex128) ([]complex128, error) {
+	n := len(x)
+	conj := make([]complex128, n)
+	for i, v := range x {
+		conj[i] = cmplx.Conj(v)
+	}
+	fwd, err := FFT(conj)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, n)
+	for i, v := range fwd {
+		out[i] = cmplx.Conj(v) / complex(float64(n), 0)
+	}
+	return out, nil
+}
+
+// RealFFT transforms a real signal, returning the complex spectrum.
+func RealFFT(x []float64) ([]complex128, error) {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return FFT(c)
+}
+
+// PowerSpectrum returns |X[k]|^2 / n for the first n/2+1 bins of a real
+// signal's FFT.
+func PowerSpectrum(x []float64) ([]float64, error) {
+	spec, err := RealFFT(x)
+	if err != nil {
+		return nil, err
+	}
+	n := len(x)
+	out := make([]float64, n/2+1)
+	for k := range out {
+		m := cmplx.Abs(spec[k])
+		out[k] = m * m / float64(n)
+	}
+	return out, nil
+}
+
+// Convolve returns the full linear convolution of a and b (length
+// len(a)+len(b)-1), computed directly; fine for the filter lengths the
+// task library uses.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]float64, len(a)+len(b)-1)
+	for i, av := range a {
+		for j, bv := range b {
+			out[i+j] += av * bv
+		}
+	}
+	return out
+}
+
+// LowpassFIR designs a windowed-sinc low-pass FIR filter with the given
+// number of taps (odd, >= 3) and normalized cutoff in (0, 0.5).
+func LowpassFIR(taps int, cutoff float64) ([]float64, error) {
+	if taps < 3 || taps%2 == 0 {
+		return nil, fmt.Errorf("dsp: taps must be odd and >= 3, got %d", taps)
+	}
+	if cutoff <= 0 || cutoff >= 0.5 {
+		return nil, fmt.Errorf("dsp: cutoff %g outside (0, 0.5)", cutoff)
+	}
+	h := make([]float64, taps)
+	mid := taps / 2
+	var sum float64
+	for i := range h {
+		m := float64(i - mid)
+		var v float64
+		if m == 0 {
+			v = 2 * cutoff
+		} else {
+			v = math.Sin(2*math.Pi*cutoff*m) / (math.Pi * m)
+		}
+		// Hamming window.
+		v *= 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(taps-1))
+		h[i] = v
+		sum += v
+	}
+	// Normalize DC gain to 1.
+	for i := range h {
+		h[i] /= sum
+	}
+	return h, nil
+}
+
+// Peak is a detected spectral peak.
+type Peak struct {
+	Bin   int
+	Power float64
+}
+
+// FindPeaks returns local maxima of the spectrum above threshold, sorted
+// by descending power.
+func FindPeaks(spectrum []float64, threshold float64) []Peak {
+	var out []Peak
+	for i := 1; i < len(spectrum)-1; i++ {
+		if spectrum[i] >= threshold && spectrum[i] > spectrum[i-1] && spectrum[i] >= spectrum[i+1] {
+			out = append(out, Peak{Bin: i, Power: spectrum[i]})
+		}
+	}
+	// Insertion sort by power (peak lists are short).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Power > out[j-1].Power; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Synthesize builds a test signal: a sum of sinusoids (freq in cycles
+// per full window, amplitude) plus Gaussian noise with the given stddev.
+func Synthesize(n int, tones [][2]float64, noise float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		t := float64(i) / float64(n)
+		for _, tone := range tones {
+			out[i] += tone[1] * math.Sin(2*math.Pi*tone[0]*t)
+		}
+		if noise > 0 {
+			out[i] += rng.NormFloat64() * noise
+		}
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTKnownValues(t *testing.T) {
+	// FFT of an impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	out, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT bin %d = %v", i, v)
+		}
+	}
+	// FFT of a constant is an impulse at DC.
+	for i := range x {
+		x[i] = 1
+	}
+	out, err = FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(out[0]-8) > 1e-12 {
+		t.Fatalf("DC bin = %v", out[0])
+	}
+	for i := 1; i < 8; i++ {
+		if cmplx.Abs(out[i]) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 0", i, out[i])
+		}
+	}
+}
+
+func TestFFTRejectsBadLengths(t *testing.T) {
+	for _, n := range []int{0, 3, 6, 100} {
+		if _, err := FFT(make([]complex128, n)); err == nil {
+			t.Errorf("FFT accepted length %d", n)
+		}
+	}
+}
+
+func TestIFFTInverts(t *testing.T) {
+	sig := Synthesize(64, [][2]float64{{3, 1}, {9, 0.5}}, 0.1, 7)
+	spec, err := RealFFT(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := IFFT(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sig {
+		if math.Abs(real(back[i])-sig[i]) > 1e-9 || math.Abs(imag(back[i])) > 1e-9 {
+			t.Fatalf("IFFT(FFT(x))[%d] = %v, want %g", i, back[i], sig[i])
+		}
+	}
+}
+
+// Property: Parseval — energy in time equals energy in frequency / n.
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := 1 << (uint(szRaw)%6 + 2) // 4..256
+		sig := Synthesize(n, [][2]float64{{2, 1}}, 0.5, seed)
+		var timeE float64
+		for _, v := range sig {
+			timeE += v * v
+		}
+		spec, err := RealFFT(sig)
+		if err != nil {
+			return false
+		}
+		var freqE float64
+		for _, v := range spec {
+			m := cmplx.Abs(v)
+			freqE += m * m
+		}
+		return math.Abs(timeE-freqE/float64(n)) < 1e-6*(1+timeE)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(15))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerSpectrumFindsTone(t *testing.T) {
+	sig := Synthesize(256, [][2]float64{{32, 2}}, 0.01, 3)
+	ps, err := PowerSpectrum(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i, v := range ps {
+		if v > ps[best] {
+			best = i
+		}
+	}
+	if best != 32 {
+		t.Fatalf("dominant bin = %d, want 32", best)
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	got := Convolve([]float64{1, 2, 3}, []float64{0, 1})
+	want := []float64{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("conv[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if Convolve(nil, []float64{1}) != nil {
+		t.Fatal("empty convolution should be nil")
+	}
+}
+
+func TestLowpassFIR(t *testing.T) {
+	h, err := LowpassFIR(31, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DC gain 1.
+	var sum float64
+	for _, v := range h {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("DC gain = %g", sum)
+	}
+	// It actually attenuates a high tone relative to a low one.
+	low := Synthesize(256, [][2]float64{{5, 1}}, 0, 1)
+	high := Synthesize(256, [][2]float64{{100, 1}}, 0, 1)
+	energy := func(x []float64) float64 {
+		var e float64
+		for _, v := range x {
+			e += v * v
+		}
+		return e
+	}
+	lowOut := Convolve(low, h)
+	highOut := Convolve(high, h)
+	if energy(highOut) > energy(lowOut)/10 {
+		t.Fatalf("filter passed the high tone: low=%g high=%g", energy(lowOut), energy(highOut))
+	}
+	// Parameter validation.
+	if _, err := LowpassFIR(4, 0.1); err == nil {
+		t.Fatal("even taps accepted")
+	}
+	if _, err := LowpassFIR(2, 0.1); err == nil {
+		t.Fatal("tiny taps accepted")
+	}
+	if _, err := LowpassFIR(5, 0.9); err == nil {
+		t.Fatal("bad cutoff accepted")
+	}
+}
+
+func TestFindPeaks(t *testing.T) {
+	spec := []float64{0, 1, 5, 1, 0, 3, 0.5, 8, 0.1}
+	peaks := FindPeaks(spec, 2)
+	if len(peaks) != 3 {
+		t.Fatalf("peaks = %v", peaks)
+	}
+	if peaks[0].Bin != 7 || peaks[1].Bin != 2 || peaks[2].Bin != 5 {
+		t.Fatalf("order wrong: %v", peaks)
+	}
+	if got := FindPeaks(spec, 100); len(got) != 0 {
+		t.Fatal("threshold ignored")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(32, [][2]float64{{3, 1}}, 0.2, 9)
+	b := Synthesize(32, [][2]float64{{3, 1}}, 0.2, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed differed")
+		}
+	}
+}

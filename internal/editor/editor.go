@@ -1,0 +1,379 @@
+// Package editor implements the server side of the VDCE Application
+// Editor: the paper's web-based interface through which a user
+// authenticates against the site's user-accounts database, browses the
+// menu-driven task libraries, builds an application flow graph, sets
+// task properties, and submits the application to the Application
+// Scheduler. The browser GUI is replaced by a JSON/HTTP API with
+// identical capabilities (the scheduler consumes the same AFGs).
+package editor
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"vdce/internal/afg"
+	"vdce/internal/repository"
+	"vdce/internal/tasklib"
+)
+
+// Submitter receives a finished application graph (Fig. 2 step 1:
+// "Receive application flow graph from Application Editor"). It returns
+// an opaque JSON-encodable result shown to the user — typically the
+// resource allocation table.
+type Submitter func(owner string, g *afg.Graph) (any, error)
+
+// Server is the editor backend for one VDCE site.
+type Server struct {
+	Users    *repository.UserAccountsDB
+	Registry *tasklib.Registry
+	Submit   Submitter
+
+	mu       sync.Mutex
+	sessions map[string]string         // token -> user
+	apps     map[string]*appInProgress // app id -> builder state
+	nextApp  int
+}
+
+type appInProgress struct {
+	owner string
+	graph *afg.Graph
+}
+
+// NewServer wires an editor over the given accounts database and task
+// catalog.
+func NewServer(users *repository.UserAccountsDB, reg *tasklib.Registry, submit Submitter) *Server {
+	return &Server{
+		Users:    users,
+		Registry: reg,
+		Submit:   submit,
+		sessions: make(map[string]string),
+		apps:     make(map[string]*appInProgress),
+	}
+}
+
+// Handler returns the editor's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /login", s.handleLogin)
+	mux.HandleFunc("GET /libraries", s.auth(s.handleLibraries))
+	mux.HandleFunc("GET /libraries/{lib}", s.auth(s.handleLibrary))
+	mux.HandleFunc("POST /apps", s.auth(s.handleCreateApp))
+	mux.HandleFunc("GET /apps", s.auth(s.handleListApps))
+	mux.HandleFunc("POST /apps/import", s.auth(s.handleImport))
+	mux.HandleFunc("DELETE /apps/{id}", s.auth(s.handleDeleteApp))
+	mux.HandleFunc("GET /apps/{id}", s.auth(s.handleGetApp))
+	mux.HandleFunc("POST /apps/{id}/tasks", s.auth(s.handleAddTask))
+	mux.HandleFunc("POST /apps/{id}/edges", s.auth(s.handleAddEdge))
+	mux.HandleFunc("POST /apps/{id}/props", s.auth(s.handleSetProps))
+	mux.HandleFunc("POST /apps/{id}/submit", s.auth(s.handleSubmit))
+	return mux
+}
+
+// --- helpers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func newToken() string {
+	b := make([]byte, 16)
+	if _, err := rand.Read(b); err != nil {
+		panic(fmt.Sprintf("editor: crypto/rand: %v", err))
+	}
+	return hex.EncodeToString(b)
+}
+
+// auth wraps a handler with bearer-token session checking — the paper's
+// "after user authentication, the Application Editor is loaded".
+func (s *Server) auth(h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tok := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+		s.mu.Lock()
+		user, ok := s.sessions[tok]
+		s.mu.Unlock()
+		if tok == "" || !ok {
+			writeErr(w, http.StatusUnauthorized, errors.New("editor: not authenticated"))
+			return
+		}
+		h(w, r, user)
+	}
+}
+
+func (s *Server) app(id, user string) (*appInProgress, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	app, ok := s.apps[id]
+	if !ok {
+		return nil, fmt.Errorf("editor: no application %q", id)
+	}
+	if app.owner != user {
+		return nil, fmt.Errorf("editor: application %q belongs to %s", id, app.owner)
+	}
+	return app, nil
+}
+
+// --- handlers ---
+
+type loginRequest struct {
+	User     string `json:"user"`
+	Password string `json:"password"`
+}
+
+func (s *Server) handleLogin(w http.ResponseWriter, r *http.Request) {
+	var req loginRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	acct, err := s.Users.Authenticate(req.User, req.Password)
+	if err != nil {
+		writeErr(w, http.StatusUnauthorized, err)
+		return
+	}
+	tok := newToken()
+	s.mu.Lock()
+	s.sessions[tok] = acct.Name
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"token": tok, "user_id": acct.UserID, "priority": acct.Priority, "domain": acct.Domain,
+	})
+}
+
+func (s *Server) handleLibraries(w http.ResponseWriter, _ *http.Request, _ string) {
+	writeJSON(w, http.StatusOK, map[string]any{"libraries": s.Registry.Libraries()})
+}
+
+type taskInfo struct {
+	Name     string `json:"name"`
+	InPorts  int    `json:"in_ports"`
+	OutPorts int    `json:"out_ports"`
+	Parallel bool   `json:"parallelizable"`
+}
+
+func (s *Server) handleLibrary(w http.ResponseWriter, r *http.Request, _ string) {
+	lib := r.PathValue("lib")
+	names := s.Registry.Names(lib)
+	if len(names) == 0 {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("editor: no library %q", lib))
+		return
+	}
+	out := make([]taskInfo, 0, len(names))
+	for _, n := range names {
+		spec, err := s.Registry.Get(n)
+		if err != nil {
+			continue
+		}
+		out = append(out, taskInfo{
+			Name: n, InPorts: spec.InPorts, OutPorts: spec.OutPorts,
+			Parallel: spec.Params.Parallelizable,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"library": lib, "tasks": out})
+}
+
+func (s *Server) handleCreateApp(w http.ResponseWriter, r *http.Request, user string) {
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("editor: application needs a name"))
+		return
+	}
+	s.mu.Lock()
+	s.nextApp++
+	id := fmt.Sprintf("app-%d", s.nextApp)
+	g := afg.NewGraph(req.Name)
+	g.Owner = user
+	s.apps[id] = &appInProgress{owner: user, graph: g}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+// handleListApps lists the caller's applications with their task counts.
+func (s *Server) handleListApps(w http.ResponseWriter, _ *http.Request, user string) {
+	type row struct {
+		ID    string `json:"id"`
+		Name  string `json:"name"`
+		Tasks int    `json:"tasks"`
+		Edges int    `json:"edges"`
+	}
+	s.mu.Lock()
+	var out []row
+	for id, app := range s.apps {
+		if app.owner != user {
+			continue
+		}
+		out = append(out, row{ID: id, Name: app.graph.Name, Tasks: len(app.graph.Tasks), Edges: len(app.graph.Edges)})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	writeJSON(w, http.StatusOK, map[string]any{"apps": out})
+}
+
+// handleDeleteApp removes one of the caller's applications.
+func (s *Server) handleDeleteApp(w http.ResponseWriter, r *http.Request, user string) {
+	id := r.PathValue("id")
+	if _, err := s.app(id, user); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	s.mu.Lock()
+	delete(s.apps, id)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+// handleImport accepts a complete AFG as JSON (the format EncodeJSON
+// emits), validating it before registration — the CLI submission path.
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request, user string) {
+	body, err := json.Marshal(json.RawMessage(mustReadAll(r)))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	g, err := afg.DecodeJSON(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	g.Owner = user
+	s.mu.Lock()
+	s.nextApp++
+	id := fmt.Sprintf("app-%d", s.nextApp)
+	s.apps[id] = &appInProgress{owner: user, graph: g}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+func mustReadAll(r *http.Request) []byte {
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(r.Body)
+	return buf.Bytes()
+}
+
+func (s *Server) handleGetApp(w http.ResponseWriter, r *http.Request, user string) {
+	app, err := s.app(r.PathValue("id"), user)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, app.graph)
+}
+
+func (s *Server) handleAddTask(w http.ResponseWriter, r *http.Request, user string) {
+	app, err := s.app(r.PathValue("id"), user)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := s.Registry.Get(req.Name)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	s.mu.Lock()
+	id := app.graph.AddTask(spec.Name, spec.Library, spec.InPorts, spec.OutPorts)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]int{"task": int(id)})
+}
+
+func (s *Server) handleAddEdge(w http.ResponseWriter, r *http.Request, user string) {
+	app, err := s.app(r.PathValue("id"), user)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var req struct {
+		From     int   `json:"from"`
+		FromPort int   `json:"from_port"`
+		To       int   `json:"to"`
+		ToPort   int   `json:"to_port"`
+		Size     int64 `json:"size_bytes"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	err = app.graph.Connect(afg.TaskID(req.From), req.FromPort, afg.TaskID(req.To), req.ToPort, req.Size)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"status": "connected"})
+}
+
+func (s *Server) handleSetProps(w http.ResponseWriter, r *http.Request, user string) {
+	app, err := s.app(r.PathValue("id"), user)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var req struct {
+		Task  int            `json:"task"`
+		Props afg.Properties `json:"props"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	err = app.graph.SetProps(afg.TaskID(req.Task), req.Props)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, user string) {
+	app, err := s.app(r.PathValue("id"), user)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	s.mu.Lock()
+	g := app.graph
+	s.mu.Unlock()
+	if err := g.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.Submit == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("editor: no scheduler attached"))
+		return
+	}
+	result, err := s.Submit(user, g)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"result": result})
+}

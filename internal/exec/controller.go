@@ -1,0 +1,242 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"vdce/internal/afg"
+	"vdce/internal/core"
+	"vdce/internal/protocol"
+	"vdce/internal/tasklib"
+	"vdce/internal/testbed"
+)
+
+// appController is the Application Controller for one task on its
+// assigned machine: it sets up the execution environment, waits for the
+// startup signal, monitors the execution, and requests rescheduling when
+// the current load exceeds the threshold or the machine fails.
+type appController struct {
+	app  *appRun
+	task *afg.Task
+	spec *tasklib.Spec
+	dm   *dataManager
+}
+
+func newAppController(run *appRun, task *afg.Task) (*appController, error) {
+	spec, err := run.engine.Reg.Get(task.Name)
+	if err != nil {
+		return nil, err
+	}
+	dm, err := newDataManager(run, task)
+	if err != nil {
+		return nil, err
+	}
+	return &appController{app: run, task: task, spec: spec, dm: dm}, nil
+}
+
+// run executes the controller's lifecycle to completion.
+func (ac *appController) run(ctx context.Context) error {
+	defer ac.dm.close()
+	e := ac.app.engine
+
+	// Console service: a suspended application dispatches no new tasks.
+	if e.Console != nil {
+		if err := e.Console.Gate(ctx); err != nil {
+			return err
+		}
+	}
+
+	// Receive dataflow inputs (blocks until parents deliver).
+	in, err := ac.dm.receiveInputs()
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	if e.Console != nil { // re-check after possibly long waits
+		if err := e.Console.Gate(ctx); err != nil {
+			return err
+		}
+	}
+
+	outs, err := ac.executeWithRescheduling(ctx, in)
+	if err != nil {
+		return err
+	}
+	if len(outs) != ac.task.OutPorts {
+		return fmt.Errorf("exec: produced %d outputs, declared %d", len(outs), ac.task.OutPorts)
+	}
+	ac.app.storeOutputs(ac.task.ID, outs)
+	return ac.dm.sendOutputs(outs)
+}
+
+// executeWithRescheduling runs the task, moving it to a new host when
+// the Application Controller terminates it (load threshold or failure).
+func (ac *appController) executeWithRescheduling(ctx context.Context, in []tasklib.Value) ([]tasklib.Value, error) {
+	e := ac.app.engine
+	var excluded []string
+	for attempt := 1; attempt <= ac.app.maxAttempts; attempt++ {
+		placement := ac.app.placement(ac.task.ID)
+		if placement == nil {
+			return nil, fmt.Errorf("exec: task %d has no placement", ac.task.ID)
+		}
+		primary, err := e.TB.Host(placement.Hosts[0])
+		if err != nil {
+			return nil, err
+		}
+		outs, tr, err := ac.attempt(ctx, in, placement, primary, attempt)
+		ac.app.recordRun(tr)
+		if err == nil {
+			if e.Record != nil {
+				e.Record(protocol.ExecutionRecord{
+					Task: ac.task.Name, Host: primary.Name, Elapsed: tr.Elapsed, At: tr.End,
+				})
+			}
+			if e.Metrics != nil {
+				e.Metrics.Add("task:"+ac.task.Name, tr.End.Sub(tr.Start), tr.Elapsed.Seconds())
+			}
+			return outs, nil
+		}
+		if err != errTerminated {
+			return nil, err
+		}
+		// Task rescheduling request: ask for a new placement that avoids
+		// the offending host.
+		if e.Reschedule == nil {
+			return nil, fmt.Errorf("exec: task %d terminated on %s and no rescheduler configured",
+				ac.task.ID, primary.Name)
+		}
+		excluded = append(excluded, primary.Name)
+		ac.app.mu.Lock()
+		ac.app.rescheduled++
+		ac.app.mu.Unlock()
+		np, rerr := e.Reschedule(ac.app.g, ac.task.ID, excluded)
+		if rerr != nil {
+			return nil, fmt.Errorf("exec: reschedule task %d: %w", ac.task.ID, rerr)
+		}
+		ac.app.setPlacement(ac.task.ID, np)
+	}
+	return nil, fmt.Errorf("exec: task %d exhausted %d attempts", ac.task.ID, ac.app.maxAttempts)
+}
+
+// attempt performs one execution on the current placement, supervised by
+// the load/failure watchdog.
+func (ac *appController) attempt(ctx context.Context, in []tasklib.Value, placement *core.Placement, primary *testbed.Host, attemptNo int) ([]tasklib.Value, TaskRun, error) {
+	e := ac.app.engine
+	// One task per machine at a time: wait for every assigned host.
+	unlock := ac.app.lockHosts(placement.Hosts)
+	defer unlock()
+	tr := TaskRun{
+		Task: ac.task.ID, TaskName: ac.task.Name,
+		Host: primary.Name, Attempt: attemptNo, Start: time.Now(),
+	}
+
+	// Set up the execution environment: reserve the task's memory.
+	params, perr := paramsFor(ac, primary)
+	if perr == nil && params > 0 {
+		if err := primary.ClaimMem(params); err == nil {
+			defer primary.ReleaseMem(params)
+		}
+		// A memory-starved host still runs the task — the prediction
+		// penalty models the resulting thrashing.
+	}
+
+	nodes := len(placement.Hosts)
+	if ac.task.Props.Mode != afg.Parallel {
+		nodes = 1
+	}
+
+	type outcome struct {
+		outs    []tasklib.Value
+		elapsed time.Duration
+		err     error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		t0 := time.Now()
+		outs, err := ac.spec.Fn(&tasklib.Context{In: in, Args: ac.task.Props.Args, Nodes: nodes})
+		done <- outcome{outs: outs, elapsed: time.Since(t0), err: err}
+	}()
+
+	// The watchdog is the Application Controller's monitoring loop.
+	tick := time.NewTicker(ac.app.checkPeriod)
+	defer tick.Stop()
+	var oc outcome
+compute:
+	for {
+		select {
+		case <-ctx.Done():
+			tr.End = time.Now()
+			return nil, tr, ctx.Err()
+		case oc = <-done:
+			break compute
+		case <-tick.C:
+			if kill, _ := ac.shouldTerminate(primary); kill {
+				tr.End = time.Now()
+				tr.Terminated = true
+				return nil, tr, errTerminated
+			}
+		}
+	}
+	if oc.err != nil {
+		tr.End = time.Now()
+		return nil, tr, oc.err
+	}
+
+	// Dilation: stretch the observed runtime by the host model's factor
+	// to emulate slower/loaded hardware. The sleep remains supervised so
+	// threshold kills still happen during the stretched window.
+	elapsed := oc.elapsed
+	if e.DilationScale > 0 {
+		extra := time.Duration(float64(oc.elapsed) * (primary.Dilation() - 1) * e.DilationScale)
+		if extra > 0 {
+			timer := time.NewTimer(extra)
+			defer timer.Stop()
+		dilate:
+			for {
+				select {
+				case <-ctx.Done():
+					tr.End = time.Now()
+					return nil, tr, ctx.Err()
+				case <-timer.C:
+					break dilate
+				case <-tick.C:
+					if kill, _ := ac.shouldTerminate(primary); kill {
+						tr.End = time.Now()
+						tr.Terminated = true
+						return nil, tr, errTerminated
+					}
+				}
+			}
+			elapsed += extra
+		}
+	}
+
+	tr.End = time.Now()
+	tr.Elapsed = elapsed
+	return oc.outs, tr, nil
+}
+
+// shouldTerminate implements the paper's rule: "If the current load on
+// any of these machines is more than a predefined threshold value, the
+// Application Controller terminates the task execution ... and sends a
+// task rescheduling request". Host failure is treated the same way.
+func (ac *appController) shouldTerminate(h *testbed.Host) (bool, string) {
+	if h.Failed() {
+		return true, "host failed"
+	}
+	thr := ac.app.engine.LoadThreshold
+	if thr > 0 && h.CurrentLoad() > thr {
+		return true, "load threshold exceeded"
+	}
+	return false, ""
+}
+
+// paramsFor returns the task's required memory on the host.
+func paramsFor(ac *appController, h *testbed.Host) (int64, error) {
+	// Memory requirements come from the catalog spec; the repository copy
+	// would be equivalent.
+	return ac.spec.Params.RequiredMemBytes, nil
+}

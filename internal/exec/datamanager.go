@@ -1,0 +1,140 @@
+package exec
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"vdce/internal/afg"
+	"vdce/internal/protocol"
+	"vdce/internal/tasklib"
+)
+
+// dataManager is one task's endpoint of the socket-based point-to-point
+// communication system: a TCP listener for its dataflow inputs and
+// dialers toward its children.
+type dataManager struct {
+	run  *appRun
+	task *afg.Task
+	ln   net.Listener // nil when the task has no dataflow inputs
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// newDataManager sets up the communication endpoint for a task: the
+// paper's "communication proxy" activation plus channel setup. Opening
+// the listener and publishing its address is the acknowledgment.
+func newDataManager(run *appRun, task *afg.Task) (*dataManager, error) {
+	dm := &dataManager{run: run, task: task}
+	if len(run.g.InEdges(task.ID)) > 0 {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("exec: data manager listen for task %d: %w", task.ID, err)
+		}
+		dm.ln = ln
+		run.addrs.Store(task.ID, ln.Addr().String())
+	}
+	return dm, nil
+}
+
+func (dm *dataManager) close() {
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	if dm.closed {
+		return
+	}
+	dm.closed = true
+	if dm.ln != nil {
+		dm.ln.Close()
+	}
+}
+
+// receiveInputs accepts one connection per in-edge and returns the
+// decoded values indexed by input port. It blocks until all inputs have
+// arrived or the listener is closed (cancellation path).
+func (dm *dataManager) receiveInputs() ([]tasklib.Value, error) {
+	in := make([]tasklib.Value, dm.task.InPorts)
+	edges := dm.run.g.InEdges(dm.task.ID)
+	if len(edges) == 0 {
+		return in, nil
+	}
+	expect := make(map[int]bool, len(edges))
+	for _, e := range edges {
+		expect[e.ToPort] = true
+	}
+	for received := 0; received < len(edges); received++ {
+		conn, err := dm.ln.Accept()
+		if err != nil {
+			return nil, fmt.Errorf("exec: task %d input channel: %w", dm.task.ID, err)
+		}
+		var env protocol.DataEnvelope
+		err = gob.NewDecoder(conn).Decode(&env)
+		conn.Close()
+		if err != nil {
+			return nil, fmt.Errorf("exec: task %d decode: %w", dm.task.ID, err)
+		}
+		if env.AppID != dm.run.appID {
+			return nil, fmt.Errorf("exec: task %d got payload for app %q", dm.task.ID, env.AppID)
+		}
+		if !expect[env.ToPort] {
+			return nil, fmt.Errorf("exec: task %d got unexpected port %d", dm.task.ID, env.ToPort)
+		}
+		expect[env.ToPort] = false
+		val, err := tasklib.DecodeValue(env.Payload)
+		if err != nil {
+			return nil, fmt.Errorf("exec: task %d payload: %w", dm.task.ID, err)
+		}
+		in[env.ToPort] = val
+	}
+	return in, nil
+}
+
+// sendOutputs dials each child's data manager and delivers the produced
+// values, one envelope per out-edge.
+func (dm *dataManager) sendOutputs(outs []tasklib.Value) error {
+	// Encode each out-port once; fan-out edges reuse the bytes.
+	encoded := make(map[int][]byte)
+	for _, e := range dm.run.g.OutEdges(dm.task.ID) {
+		payload, ok := encoded[e.FromPort]
+		if !ok {
+			if e.FromPort >= len(outs) {
+				return fmt.Errorf("exec: task %d produced no output for port %d", dm.task.ID, e.FromPort)
+			}
+			var err error
+			payload, err = tasklib.EncodeValue(outs[e.FromPort])
+			if err != nil {
+				return err
+			}
+			encoded[e.FromPort] = payload
+		}
+		addrVal, ok := dm.run.addrs.Load(e.To)
+		if !ok {
+			return fmt.Errorf("exec: task %d has no channel address for child %d", dm.task.ID, e.To)
+		}
+		if err := dm.sendOne(addrVal.(string), e, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (dm *dataManager) sendOne(addr string, e afg.Edge, payload []byte) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("exec: dial child %d: %w", e.To, err)
+	}
+	defer conn.Close()
+	env := protocol.DataEnvelope{
+		AppID:    dm.run.appID,
+		FromTask: int(e.From),
+		ToTask:   int(e.To),
+		ToPort:   e.ToPort,
+		Payload:  payload,
+	}
+	if err := gob.NewEncoder(conn).Encode(&env); err != nil {
+		return fmt.Errorf("exec: send to child %d: %w", e.To, err)
+	}
+	return nil
+}

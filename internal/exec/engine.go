@@ -1,0 +1,248 @@
+// Package exec implements the VDCE Runtime System's execution path: the
+// Application Controller, which sets up the execution environment on
+// each assigned machine, monitors the run, and requests rescheduling
+// when a machine's load crosses the threshold; and the Data Manager, the
+// socket-based point-to-point communication system for inter-task data.
+//
+// The lifecycle follows §4 exactly: Data Managers create listening
+// sockets for every task with dataflow inputs, acknowledgments are
+// collected, the execution startup signal is broadcast, tasks run and
+// stream their outputs to their children over TCP, and each completed
+// execution is reported so the Site Manager can update the
+// task-performance database.
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"vdce/internal/afg"
+	"vdce/internal/core"
+	"vdce/internal/protocol"
+	"vdce/internal/services"
+	"vdce/internal/tasklib"
+	"vdce/internal/testbed"
+)
+
+// Engine executes scheduled applications on the simulated testbed with
+// real task code and real TCP data channels.
+type Engine struct {
+	// Reg resolves task names to implementations.
+	Reg *tasklib.Registry
+	// TB supplies the host models (dilation, load, failure, memory).
+	TB *testbed.Testbed
+	// Record receives one ExecutionRecord per successful task run;
+	// typically wired to SiteManager.RecordExecution. Optional.
+	Record func(protocol.ExecutionRecord)
+	// LoadThreshold is the Application Controller's termination trigger:
+	// if the primary host's load exceeds it mid-run, the task is killed
+	// and rescheduled. <= 0 disables the check.
+	LoadThreshold float64
+	// LoadCheckPeriod is the watchdog cadence (default 5ms).
+	LoadCheckPeriod time.Duration
+	// DilationScale stretches task runtimes by the host model's dilation
+	// factor to emulate heterogeneous hardware: extra sleep =
+	// elapsed * (dilation-1) * DilationScale. 0 disables dilation.
+	DilationScale float64
+	// Reschedule supplies a replacement placement when a task must move
+	// (load threshold or host failure), excluding the listed hosts. Nil
+	// makes such events fatal.
+	Reschedule func(g *afg.Graph, id afg.TaskID, exclude []string) (*core.Placement, error)
+	// MaxAttempts bounds per-task executions (default 3).
+	MaxAttempts int
+	// Console gates task dispatch (suspend/resume). Optional.
+	Console *services.Console
+	// Metrics receives the task timeline for visualization. Optional.
+	Metrics *services.Metrics
+}
+
+// TaskRun describes one attempt at executing a task.
+type TaskRun struct {
+	Task       afg.TaskID
+	TaskName   string
+	Host       string
+	Attempt    int
+	Start, End time.Time
+	Elapsed    time.Duration
+	Terminated bool // killed by the load threshold or a host failure
+}
+
+// Result is the outcome of Execute.
+type Result struct {
+	AppID    string
+	Outputs  map[afg.TaskID][]tasklib.Value
+	Runs     []TaskRun
+	Makespan time.Duration
+	// Rescheduled counts reschedule requests the Application Controllers
+	// issued.
+	Rescheduled int
+}
+
+// errTerminated marks a watchdog kill internally.
+var errTerminated = errors.New("exec: task terminated by application controller")
+
+// Execute runs g as placed by table. It returns when every task has
+// completed or any task fails permanently.
+func (e *Engine) Execute(ctx context.Context, g *afg.Graph, table *core.AllocationTable) (*Result, error) {
+	if e.Reg == nil || e.TB == nil {
+		return nil, errors.New("exec: engine needs Reg and TB")
+	}
+	if err := table.Validate(g); err != nil {
+		return nil, err
+	}
+	maxAttempts := e.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	checkPeriod := e.LoadCheckPeriod
+	if checkPeriod <= 0 {
+		checkPeriod = 5 * time.Millisecond
+	}
+
+	appID := fmt.Sprintf("%s-%d", g.Name, time.Now().UnixNano())
+	run := &appRun{
+		engine:      e,
+		g:           g,
+		appID:       appID,
+		maxAttempts: maxAttempts,
+		checkPeriod: checkPeriod,
+		placements:  make(map[afg.TaskID]*core.Placement, len(table.Entries)),
+		outputs:     make(map[afg.TaskID][]tasklib.Value, len(g.Tasks)),
+	}
+	for i := range table.Entries {
+		p := table.Entries[i]
+		run.placements[p.Task] = &p
+	}
+
+	// Phase 1 (Data Manager setup): every task with dataflow inputs
+	// opens its listening socket; the "resource allocation information,
+	// including the socket number [and] IP address" is assembled for the
+	// producers. Socket setup completing for all tasks is the paper's
+	// acknowledgment collection.
+	controllers := make([]*appController, 0, len(g.Tasks))
+	for _, task := range g.Tasks {
+		ac, err := newAppController(run, task)
+		if err != nil {
+			run.closeAll(controllers)
+			return nil, err
+		}
+		controllers = append(controllers, ac)
+	}
+
+	// Phase 2: the execution startup signal.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(controllers))
+	for _, ac := range controllers {
+		wg.Add(1)
+		go func(ac *appController) {
+			defer wg.Done()
+			if err := ac.run(runCtx); err != nil {
+				errCh <- fmt.Errorf("task %d (%s): %w", ac.task.ID, ac.task.Name, err)
+				cancel() // one permanent failure aborts the application
+			}
+		}(ac)
+	}
+	wg.Wait()
+	close(errCh)
+	run.closeAll(controllers)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		AppID:       appID,
+		Outputs:     run.outputs,
+		Runs:        run.runs,
+		Makespan:    time.Since(start),
+		Rescheduled: int(run.rescheduled),
+	}
+	return res, nil
+}
+
+// appRun is the shared state of one application execution.
+type appRun struct {
+	engine      *Engine
+	g           *afg.Graph
+	appID       string
+	maxAttempts int
+	checkPeriod time.Duration
+
+	mu          sync.Mutex
+	placements  map[afg.TaskID]*core.Placement
+	outputs     map[afg.TaskID][]tasklib.Value
+	runs        []TaskRun
+	rescheduled int64
+	addrs       sync.Map // afg.TaskID -> listen address
+	hostLocks   map[string]*sync.Mutex
+}
+
+// lockHosts serializes execution on the given machines: a host runs one
+// task at a time, exactly as the schedule simulator assumes. Locks are
+// acquired in sorted order so multi-host (parallel) tasks cannot
+// deadlock against each other. The returned function releases them.
+func (r *appRun) lockHosts(hosts []string) func() {
+	sorted := append([]string(nil), hosts...)
+	sort.Strings(sorted)
+	locks := make([]*sync.Mutex, 0, len(sorted))
+	r.mu.Lock()
+	if r.hostLocks == nil {
+		r.hostLocks = make(map[string]*sync.Mutex)
+	}
+	for _, h := range sorted {
+		l, ok := r.hostLocks[h]
+		if !ok {
+			l = &sync.Mutex{}
+			r.hostLocks[h] = l
+		}
+		locks = append(locks, l)
+	}
+	r.mu.Unlock()
+	for _, l := range locks {
+		l.Lock()
+	}
+	return func() {
+		for i := len(locks) - 1; i >= 0; i-- {
+			locks[i].Unlock()
+		}
+	}
+}
+
+func (r *appRun) placement(id afg.TaskID) *core.Placement {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.placements[id]
+}
+
+func (r *appRun) setPlacement(id afg.TaskID, p *core.Placement) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.placements[id] = p
+}
+
+func (r *appRun) recordRun(tr TaskRun) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.runs = append(r.runs, tr)
+}
+
+func (r *appRun) storeOutputs(id afg.TaskID, vals []tasklib.Value) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.outputs[id] = vals
+}
+
+func (r *appRun) closeAll(controllers []*appController) {
+	for _, ac := range controllers {
+		ac.dm.close()
+	}
+}

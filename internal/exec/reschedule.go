@@ -1,0 +1,90 @@
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"vdce/internal/afg"
+	"vdce/internal/core"
+)
+
+// NewRescheduler builds the Reschedule hook from the available site
+// schedulers: on a rescheduling request it re-runs host selection for
+// the single task across all sites, excluding the hosts the Application
+// Controller reported, and returns the fastest remaining placement.
+func NewRescheduler(sites []*core.LocalSite) func(*afg.Graph, afg.TaskID, []string) (*core.Placement, error) {
+	return func(g *afg.Graph, id afg.TaskID, exclude []string) (*core.Placement, error) {
+		task := g.Task(id)
+		if task == nil {
+			return nil, fmt.Errorf("exec: reschedule of unknown task %d", id)
+		}
+		bad := make(map[string]bool, len(exclude))
+		for _, h := range exclude {
+			bad[h] = true
+		}
+		var best *core.Placement
+		for _, site := range sites {
+			ranked := site.RankedHosts(task)
+			var usable []core.RankedHost
+			for _, r := range ranked {
+				if !bad[r.Name] {
+					usable = append(usable, r)
+				}
+			}
+			if len(usable) == 0 {
+				continue
+			}
+			nodes := nodesFor(site, task)
+			if len(usable) < nodes {
+				continue
+			}
+			hosts := make([]string, nodes)
+			for i := 0; i < nodes; i++ {
+				hosts[i] = usable[i].Name
+			}
+			pred, err := site.PredictSet(task, hosts)
+			if err != nil {
+				continue
+			}
+			if best == nil || pred < best.Predicted {
+				best = &core.Placement{
+					Task: id, TaskName: task.Name, Site: site.SiteName(),
+					Hosts: hosts, Predicted: pred,
+				}
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("exec: no host available to reschedule task %d (%s)", id, task.Name)
+		}
+		return best, nil
+	}
+}
+
+// nodesFor mirrors the host-selection node-count rule using only
+// exported repository state.
+func nodesFor(site *core.LocalSite, task *afg.Task) int {
+	if task.Props.Mode != afg.Parallel {
+		return 1
+	}
+	params, err := site.Repo.TaskPerf.Params(task.Name)
+	if err != nil || !params.Parallelizable {
+		return 1
+	}
+	if task.Props.Nodes < 1 {
+		return 1
+	}
+	return task.Props.Nodes
+}
+
+// waitForLoad is a small test helper shared by the experiments: it polls
+// until the condition holds or the timeout elapses.
+func waitForLoad(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cond()
+}

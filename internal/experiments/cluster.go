@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vdce/internal/core"
+	"vdce/internal/netmodel"
+	"vdce/internal/sim"
+	"vdce/internal/testbed"
+	"vdce/internal/workload"
+)
+
+// cluster is the shared experiment fixture: a fabricated multi-site
+// testbed with schedulers per site.
+type cluster struct {
+	tb    *testbed.Testbed
+	sites []*core.LocalSite
+	net   *netmodel.Network
+}
+
+// newCluster fabricates sites x hostsPerSite hosts and refreshes every
+// repository once so load data is populated.
+func newCluster(sites, hostsPerSite int, seed int64) (*cluster, error) {
+	tb, err := testbed.Build(testbed.Config{
+		Sites: sites, HostsPerGroup: hostsPerSite, Seed: seed,
+		BaseLoadMax: 0.5, LoadSigma: 0.05,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &cluster{tb: tb, net: tb.Net}
+	for _, s := range tb.Sites {
+		c.sites = append(c.sites, core.NewLocalSite(s.Repo))
+	}
+	if err := tb.RefreshRepos(time.Unix(0, 0)); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// install registers a synthetic workload at every site.
+func (c *cluster) install(w *workload.Graph) error {
+	for _, s := range c.tb.Sites {
+		names := make([]string, len(s.Hosts))
+		for i, h := range s.Hosts {
+			names[i] = h.Name
+		}
+		if err := w.Install(s.Repo, names); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// policy names one scheduling strategy for E2-style comparisons.
+type policy struct {
+	name string
+	run  func(*cluster, *workload.Graph) (*core.AllocationTable, error)
+}
+
+func vdcePolicy(k int, prio core.PriorityMode) policy {
+	name := fmt.Sprintf("vdce(k=%d)", k)
+	if prio == core.FIFOPriority {
+		name = "fifo-order"
+	}
+	return policy{name: name, run: func(c *cluster, w *workload.Graph) (*core.AllocationTable, error) {
+		var remotes []core.SiteService
+		for _, s := range c.sites[1:] {
+			remotes = append(remotes, s)
+		}
+		sched := core.NewScheduler(c.sites[0], remotes, c.net, k)
+		sched.Priority = prio
+		return sched.Schedule(w.G, w.CostFunc())
+	}}
+}
+
+func randomPolicy(seed int64) policy {
+	return policy{name: "random", run: func(c *cluster, w *workload.Graph) (*core.AllocationTable, error) {
+		return core.ScheduleRandom(w.G, c.sites, c.net, seed)
+	}}
+}
+
+func roundRobinPolicy() policy {
+	return policy{name: "round-robin", run: func(c *cluster, w *workload.Graph) (*core.AllocationTable, error) {
+		return core.ScheduleRoundRobin(w.G, c.sites, c.net)
+	}}
+}
+
+func minMinPolicy() policy {
+	return policy{name: "min-min", run: func(c *cluster, w *workload.Graph) (*core.AllocationTable, error) {
+		return core.ScheduleMinMin(w.G, c.sites, c.net)
+	}}
+}
+
+func queueAwarePolicy() policy {
+	return policy{name: "vdce+q", run: func(c *cluster, w *workload.Graph) (*core.AllocationTable, error) {
+		return core.ScheduleQueueAware(w.G, c.sites, c.net, w.CostFunc())
+	}}
+}
+
+// makespan schedules with the policy and simulates the result.
+func (p policy) makespan(c *cluster, w *workload.Graph) (time.Duration, *sim.Result, error) {
+	table, err := p.run(c, w)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%s: %w", p.name, err)
+	}
+	res, err := sim.Run(w.G, table, c.net)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%s: %w", p.name, err)
+	}
+	return res.Makespan, res, nil
+}

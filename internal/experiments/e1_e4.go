@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"vdce/internal/afg"
+	"vdce/internal/core"
+	"vdce/internal/sim"
+	"vdce/internal/tasklib"
+	"vdce/internal/workload"
+)
+
+// E1LESBuild reproduces Fig. 1: the Linear Equation Solver application
+// flow graph with its task-properties windows. The table lists every
+// task exactly as the editor would render it; the notes carry the two
+// properties windows the figure shows.
+func E1LESBuild(n int) (*Table, error) {
+	g, err := tasklib.BuildLinearEquationSolver(n, 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "E1",
+		Title:  fmt.Sprintf("Fig. 1 — Linear Equation Solver AFG (n=%d)", n),
+		Header: []string{"task", "name", "mode", "nodes", "machine-pref", "inputs", "outputs"},
+	}
+	for _, task := range g.Tasks {
+		mt := task.Props.MachineType
+		if mt == "" {
+			mt = afg.AnyMachine
+		}
+		ins := make([]string, len(task.Props.Inputs))
+		for i, f := range task.Props.Inputs {
+			ins[i] = f.String()
+		}
+		outs := make([]string, len(task.Props.Outputs))
+		for i, f := range task.Props.Outputs {
+			outs[i] = f.String()
+		}
+		t.Add(int(task.ID), task.Name, task.Props.Mode.String(), task.Props.Nodes,
+			mt, strings.Join(ins, " "), strings.Join(outs, " "))
+	}
+	for _, name := range []string{"LU_Decomposition", "Matrix_Multiplication"} {
+		for _, task := range g.Tasks {
+			if task.Name == name {
+				t.Note("properties window:\n%s", task.PropertiesWindow())
+			}
+		}
+	}
+	t.Note("edges: %d, entry tasks: %d, exit tasks: %d", len(g.Edges), len(g.Entries()), len(g.Exits()))
+	return t, nil
+}
+
+// E2Params sizes the scheduler-comparison sweep.
+type E2Params struct {
+	Sites, HostsPerSite int
+	TaskCounts          []int
+	CCRs                []float64
+	Seed                int64
+}
+
+// DefaultE2 is the sweep used in EXPERIMENTS.md.
+func DefaultE2() E2Params {
+	return E2Params{
+		Sites: 4, HostsPerSite: 8,
+		TaskCounts: []int{20, 100, 300},
+		CCRs:       []float64{0.1, 1, 10},
+		Seed:       7,
+	}
+}
+
+// E2Schedulers reproduces the paper's central claim (Fig. 2 + §3): the
+// level-priority site scheduler minimizes schedule length against
+// baseline policies. Cells are simulated makespans in milliseconds;
+// the last columns are ratios relative to the VDCE scheduler.
+func E2Schedulers(p E2Params) (*Table, error) {
+	t := &Table{
+		ID:    "E2",
+		Title: "Site Scheduler vs baselines — simulated schedule length (ms)",
+		Header: []string{"family", "tasks", "ccr", "vdce", "fifo", "local",
+			"random", "rrobin", "minmin", "vdce+q", "rand/vdce", "rr/vdce"},
+	}
+	policies := []policy{
+		vdcePolicy(p.Sites-1, core.LevelPriority),
+		vdcePolicy(p.Sites-1, core.FIFOPriority),
+		vdcePolicy(0, core.LevelPriority), // local-only
+		randomPolicy(p.Seed),
+		roundRobinPolicy(),
+		minMinPolicy(),
+		queueAwarePolicy(), // extension: Fig. 3 + host availability
+	}
+	var worseRandom, total int
+	for _, fam := range workload.Families() {
+		for _, n := range p.TaskCounts {
+			for _, ccr := range p.CCRs {
+				c, err := newCluster(p.Sites, p.HostsPerSite, p.Seed)
+				if err != nil {
+					return nil, err
+				}
+				w, err := fam.Gen(workload.Params{Tasks: n, CCR: ccr, Seed: p.Seed})
+				if err != nil {
+					return nil, err
+				}
+				if err := c.install(w); err != nil {
+					return nil, err
+				}
+				ms := make([]time.Duration, len(policies))
+				for i, pol := range policies {
+					d, _, err := pol.makespan(c, w)
+					if err != nil {
+						return nil, err
+					}
+					ms[i] = d
+				}
+				vd := ms[0]
+				t.Add(fam.Name, n, ccr,
+					msCell(ms[0]), msCell(ms[1]), msCell(ms[2]),
+					msCell(ms[3]), msCell(ms[4]), msCell(ms[5]), msCell(ms[6]),
+					ratio(ms[3], vd), ratio(ms[4], vd))
+				total++
+				if ms[3] >= vd {
+					worseRandom++
+				}
+			}
+		}
+	}
+	t.Note("random >= vdce in %d/%d configurations", worseRandom, total)
+	return t, nil
+}
+
+func msCell(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond))
+}
+
+func ratio(a, b time.Duration) string {
+	if b == 0 {
+		return "inf"
+	}
+	return fmt.Sprintf("%.2f", float64(a)/float64(b))
+}
+
+// E3HostSelection reproduces Fig. 3's quality: the host chosen from the
+// resource-performance database versus the true best host, as the
+// database ages (stale load information). Regret is the percent extra
+// execution time of the chosen host over the oracle's.
+func E3HostSelection(staleSteps []int, trials int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E3",
+		Title:  "Host Selection vs oracle under stale load data",
+		Header: []string{"staleness(steps)", "mean regret %", "max regret %", "exact picks"},
+	}
+	for _, steps := range staleSteps {
+		c, err := newCluster(1, 16, seed)
+		if err != nil {
+			return nil, err
+		}
+		site := c.tb.Sites[0]
+		w, err := workload.Layered(workload.Params{Tasks: trials, CCR: 0, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		if err := c.install(w); err != nil {
+			return nil, err
+		}
+		var regretSum, regretMax float64
+		exact := 0
+		for trial := 0; trial < trials; trial++ {
+			// Refresh the DB, then advance the true loads beyond it.
+			if err := c.tb.RefreshRepos(time.Unix(int64(trial), 0)); err != nil {
+				return nil, err
+			}
+			for s := 0; s < steps; s++ {
+				for _, h := range site.Hosts {
+					h.Sample(time.Unix(int64(trial), int64(s)))
+				}
+			}
+			task := w.G.Task(afg.TaskID(trial))
+			single, singleID := singleTaskGraph(task)
+			sel, err := c.sites[0].HostSelection(single)
+			if err != nil {
+				return nil, err
+			}
+			choice := sel[singleID]
+			if choice.Err != "" {
+				return nil, fmt.Errorf("E3: %s", choice.Err)
+			}
+			// True cost now: base time dilated by the live host state.
+			trueCost := func(hostName string) (float64, error) {
+				h, err := c.tb.Host(hostName)
+				if err != nil {
+					return 0, err
+				}
+				return w.Costs[task.ID].Seconds() * h.Dilation(), nil
+			}
+			chosen, err := trueCost(choice.Hosts[0])
+			if err != nil {
+				return nil, err
+			}
+			best := chosen
+			for _, h := range site.Hosts {
+				v, err := trueCost(h.Name)
+				if err != nil {
+					return nil, err
+				}
+				if v < best {
+					best = v
+				}
+			}
+			reg := (chosen - best) / best * 100
+			regretSum += reg
+			if reg > regretMax {
+				regretMax = reg
+			}
+			if reg < 1e-9 {
+				exact++
+			}
+		}
+		t.Add(steps, regretSum/float64(trials), regretMax, fmt.Sprintf("%d/%d", exact, trials))
+	}
+	t.Note("regret grows with staleness; fresh data picks the true best host")
+	return t, nil
+}
+
+// singleTaskGraph wraps one task in a standalone graph (with a fresh ID)
+// so host selection evaluates just that task.
+func singleTaskGraph(task *afg.Task) (*afg.Graph, afg.TaskID) {
+	ng := afg.NewGraph("single")
+	id := ng.AddTask(task.Name, task.Library, 0, task.OutPorts)
+	props := task.Props
+	props.Inputs = nil
+	_ = ng.SetProps(id, props)
+	return ng, id
+}
+
+// E4Locality reproduces the §3 claim that scheduling within
+// nearest-neighbor sites decreases inter-task communication: on a
+// latency ring of sites, the k-nearest multicast bounds how far tasks
+// scatter. Reported per k: simulated makespan and inter-site traffic.
+func E4Locality(ks []int, tasks int, ccr float64, seed int64) (*Table, error) {
+	t := &Table{
+		ID:     "E4",
+		Title:  fmt.Sprintf("k-nearest site locality (ring of 8 sites, %d tasks, CCR=%g)", tasks, ccr),
+		Header: []string{"k", "makespan(ms)", "sites used", "intersite MB", "intersite transfers"},
+	}
+	for _, k := range ks {
+		c, err := newCluster(8, 4, seed)
+		if err != nil {
+			return nil, err
+		}
+		c.net.Ring(10*time.Millisecond, 2e6)
+		// The submitting site is busy (the situation that motivates
+		// scheduling on neighbors at all): its hosts carry heavy load, so
+		// remote capacity is worth the transfers.
+		for _, h := range c.tb.Sites[0].Hosts {
+			h.InjectLoad(0.85)
+		}
+		if err := c.tb.RefreshRepos(time.Unix(1, 0)); err != nil {
+			return nil, err
+		}
+		w, err := workload.Layered(workload.Params{Tasks: tasks, CCR: ccr, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		if err := c.install(w); err != nil {
+			return nil, err
+		}
+		pol := vdcePolicy(k, core.LevelPriority)
+		table, err := pol.run(c, w)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(w.G, table, c.net)
+		if err != nil {
+			return nil, err
+		}
+		used := make(map[string]bool)
+		for _, e := range table.Entries {
+			used[e.Site] = true
+		}
+		t.Add(k, msCell(res.Makespan), len(used),
+			fmt.Sprintf("%.2f", float64(res.InterSiteBytes)/1e6), res.InterSiteTransfers)
+	}
+	t.Note("the transfer term co-locates the whole graph on the best reachable site:")
+	t.Note("larger k finds faster neighbors (makespan falls) while inter-site traffic stays minimal")
+	return t, nil
+}

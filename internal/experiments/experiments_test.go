@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestE1Fidelity(t *testing.T) {
+	tbl, err := E1LESBuild(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	// Fig. 1 fidelity markers.
+	for _, want := range []string{
+		"LU_Decomposition", "Matrix_Multiplication", "<parallel>",
+		"Number of Nodes: 2", "SUN Solaris", "vector_X.dat", "matrix_A.dat",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("E1 output missing %q", want)
+		}
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("LES rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestE2ShapeHolds(t *testing.T) {
+	p := DefaultE2()
+	p.TaskCounts = []int{40}
+	p.CCRs = []float64{1}
+	tbl, err := E2Schedulers(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shape: the VDCE scheduler beats random and round-robin on average
+	// across families.
+	var vdce, random, rrobin float64
+	for _, row := range tbl.Rows {
+		vdce += atof(t, row[3])
+		random += atof(t, row[6])
+		rrobin += atof(t, row[7])
+	}
+	if vdce >= random {
+		t.Fatalf("vdce (%f) not better than random (%f) in aggregate", vdce, random)
+	}
+	if vdce >= rrobin {
+		t.Fatalf("vdce (%f) not better than round-robin (%f) in aggregate", vdce, rrobin)
+	}
+}
+
+func atof(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestE3FreshDataIsExact(t *testing.T) {
+	tbl, err := E3HostSelection([]int{0, 16}, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With staleness 0 the mean regret must be (near) zero.
+	if reg := atof(t, tbl.Rows[0][1]); reg > 1.0 {
+		t.Fatalf("fresh-data regret = %g%%", reg)
+	}
+	// Stale data can only be worse or equal.
+	if atof(t, tbl.Rows[1][1]) < atof(t, tbl.Rows[0][1])-1e-9 {
+		t.Fatal("stale data beat fresh data")
+	}
+}
+
+func TestE4LargerKNeverHurts(t *testing.T) {
+	tbl, err := E4Locality([]int{1, 7}, 60, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A wider multicast can only expose better (or equal) placements.
+	low := atof(t, tbl.Rows[0][1])
+	high := atof(t, tbl.Rows[1][1])
+	if high > low*1.01 {
+		t.Fatalf("k=7 makespan %g worse than k=1 makespan %g", high, low)
+	}
+}
+
+func TestE5FilteringReducesTraffic(t *testing.T) {
+	tbl, err := E5Monitoring([]float64{0, 0.1}, 16, 80, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := atof(t, tbl.Rows[0][1])
+	filtered := atof(t, tbl.Rows[1][1])
+	if filtered >= all/2 {
+		t.Fatalf("threshold 0.1 forwarded %g of %g samples (want < half)", filtered, all)
+	}
+}
+
+func TestE6LatencyBoundedByPeriod(t *testing.T) {
+	period := time.Second
+	tbl, err := E6FailureDetect([]time.Duration{period}, 32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tbl.Rows[0]
+	mean, err := time.ParseDuration(row[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	max, err := time.ParseDuration(row[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean <= 0 || mean > period {
+		t.Fatalf("mean latency %v out of (0, %v]", mean, period)
+	}
+	if max > period {
+		t.Fatalf("max latency %v exceeds the echo period", max)
+	}
+	if row[3] != "32/32" {
+		t.Fatalf("detected %s, want all", row[3])
+	}
+}
+
+func TestE7ReschedulingHelps(t *testing.T) {
+	tbl, err := E7Reschedule(30, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := time.ParseDuration(tbl.Rows[0][1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := time.ParseDuration(tbl.Rows[1][1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with >= without {
+		t.Fatalf("rescheduling (%v) did not beat staying put (%v)", with, without)
+	}
+	if tbl.Rows[0][2] == "0" {
+		t.Fatal("no reschedules recorded")
+	}
+}
+
+func TestE8CalibrationConverges(t *testing.T) {
+	tbl, err := E8Prediction(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := atof(t, tbl.Rows[0][1])
+	last := atof(t, tbl.Rows[len(tbl.Rows)-1][1])
+	if last >= first {
+		t.Fatalf("calibration did not reduce error: %g -> %g", first, last)
+	}
+}
+
+func TestE9Runs(t *testing.T) {
+	tbl, err := E9Scale([][3]int{{1, 4, 30}, {2, 4, 30}}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if atof(t, row[3]) <= 0 {
+			t.Fatal("non-positive decision time")
+		}
+	}
+}
+
+func TestE10MovesPayloads(t *testing.T) {
+	tbl, err := E10DataManager([]int{32, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if atof(t, row[2]) <= 0 {
+			t.Fatalf("throughput row %v", row)
+		}
+	}
+}
+
+func TestRegistryAndQuickMode(t *testing.T) {
+	if len(All()) != 10 {
+		t.Fatalf("suite has %d experiments", len(All()))
+	}
+	if _, err := ByID("E99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	e, err := ByID("E1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := e.Run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "E1" {
+		t.Fatalf("table ID = %s", tbl.ID)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "t", Header: []string{"a", "bb"}}
+	tbl.Add("1", 2.5)
+	tbl.Note("n=%d", 7)
+	out := tbl.String()
+	for _, want := range []string{"== X: t ==", "a", "bb", "2.5", "note: n=7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotSPD is returned when Cholesky hits a non-positive pivot: the
+// matrix is not symmetric positive definite (within tolerance).
+var ErrNotSPD = errors.New("linalg: matrix is not symmetric positive definite")
+
+// Cholesky computes the lower-triangular L with A = L*Lᵀ for a
+// symmetric positive-definite A. a is not modified. Asymmetry beyond a
+// small tolerance is rejected.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	// Symmetry check with a scale-aware tolerance.
+	scale := a.FrobeniusNorm()
+	if scale == 0 {
+		return nil, ErrNotSPD
+	}
+	tol := 1e-10 * scale
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a.At(i, j)-a.At(j, i)) > tol {
+				return nil, fmt.Errorf("%w: asymmetric at (%d,%d)", ErrNotSPD, i, j)
+			}
+		}
+	}
+	l := New(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("%w: pivot %d = %g", ErrNotSPD, j, d)
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, nil
+}
+
+// SolveSPD solves A*x = b for symmetric positive-definite A via
+// Cholesky: L*y = b then Lᵀ*x = y.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	if a.Rows != len(b) {
+		return nil, fmt.Errorf("linalg: SolveSPD shape mismatch A=%dx%d len(b)=%d", a.Rows, a.Cols, len(b))
+	}
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	y, err := ForwardSub(l, b)
+	if err != nil {
+		return nil, err
+	}
+	return BackSub(l.Transpose(), y)
+}
+
+// RandomSPD returns a random symmetric positive-definite matrix:
+// B*Bᵀ + n*I for random B.
+func RandomSPD(n int, seed int64) *Matrix {
+	b := RandomMatrix(n, n, seed)
+	bt := b.Transpose()
+	m, err := MatMul(b, bt)
+	if err != nil {
+		panic(err) // shapes are square by construction
+	}
+	for i := 0; i < n; i++ {
+		m.Set(i, i, m.At(i, i)+float64(n))
+	}
+	return m
+}

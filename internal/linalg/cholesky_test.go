@@ -1,0 +1,104 @@
+package linalg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCholeskyReconstructs(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 40} {
+		a := RandomSPD(n, int64(n))
+		l, err := Cholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		prod, err := MatMul(l, l.Transpose())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxAbsDiff(a, prod); d > 1e-8*float64(n) {
+			t.Fatalf("n=%d: ||A - LLt|| = %g", n, d)
+		}
+		// L is lower triangular with positive diagonal.
+		for i := 0; i < n; i++ {
+			if l.At(i, i) <= 0 {
+				t.Fatalf("diagonal %d = %g", i, l.At(i, i))
+			}
+			for j := i + 1; j < n; j++ {
+				if l.At(i, j) != 0 {
+					t.Fatalf("L[%d][%d] = %g above diagonal", i, j, l.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestCholeskyRejections(t *testing.T) {
+	if _, err := Cholesky(New(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, err := Cholesky(New(3, 3)); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("zero matrix: %v", err)
+	}
+	// Asymmetric.
+	asym, _ := FromRows([][]float64{{2, 1}, {0, 2}})
+	if _, err := Cholesky(asym); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("asymmetric: %v", err)
+	}
+	// Symmetric but indefinite.
+	indef, _ := FromRows([][]float64{{1, 2}, {2, 1}})
+	if _, err := Cholesky(indef); !errors.Is(err, ErrNotSPD) {
+		t.Fatalf("indefinite: %v", err)
+	}
+}
+
+func TestSolveSPD(t *testing.T) {
+	a := RandomSPD(24, 9)
+	b := RandomVector(24, 10)
+	x, err := SolveSPD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Residual(a, x, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 1e-8 {
+		t.Fatalf("residual %g", r)
+	}
+	if _, err := SolveSPD(a, []float64{1}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+// Property: SolveSPD and the LU-based Solve agree on SPD systems.
+func TestSolversAgreeProperty(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw)%16 + 1
+		a := RandomSPD(n, seed)
+		b := RandomVector(n, seed^0xbeef)
+		x1, err := SolveSPD(a, b)
+		if err != nil {
+			return false
+		}
+		x2, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x1 {
+			d := x1[i] - x2[i]
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(45))}); err != nil {
+		t.Fatal(err)
+	}
+}

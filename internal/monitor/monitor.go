@@ -1,0 +1,64 @@
+// Package monitor implements the Monitor daemon of the paper's Resource
+// Controller: one daemon per VDCE resource, periodically measuring
+// up-to-date resource parameters (CPU load and memory availability) and
+// delivering them to the Group Manager.
+package monitor
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"vdce/internal/repository"
+	"vdce/internal/testbed"
+)
+
+// Sink receives each measurement a daemon takes.
+type Sink func(host string, s repository.WorkloadSample)
+
+// Daemon periodically samples one host.
+type Daemon struct {
+	Host   *testbed.Host
+	Period time.Duration
+	// samples counts measurements taken (for overhead accounting in E5).
+	samples atomic.Int64
+}
+
+// NewDaemon returns a daemon for the host with the given period
+// (defaulting to one second, the era-typical monitor cadence).
+func NewDaemon(h *testbed.Host, period time.Duration) *Daemon {
+	if period <= 0 {
+		period = time.Second
+	}
+	return &Daemon{Host: h, Period: period}
+}
+
+// Samples returns how many measurements the daemon has taken.
+func (d *Daemon) Samples() int64 { return d.samples.Load() }
+
+// MeasureOnce takes a single measurement immediately and delivers it.
+// Failed hosts produce nothing (the daemon dies with its machine).
+func (d *Daemon) MeasureOnce(now time.Time, sink Sink) {
+	if d.Host.Failed() {
+		return
+	}
+	s := d.Host.Sample(now)
+	d.samples.Add(1)
+	sink(d.Host.Name, s)
+}
+
+// Run measures every Period until ctx is done. It delivers measurements
+// synchronously through sink; a slow sink backpressures the daemon, as a
+// slow Group Manager link would.
+func (d *Daemon) Run(ctx context.Context, sink Sink) {
+	t := time.NewTicker(d.Period)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			d.MeasureOnce(now, sink)
+		}
+	}
+}

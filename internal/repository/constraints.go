@@ -1,0 +1,132 @@
+package repository
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ConstraintsDB is the task-constraints database: the location (absolute
+// path of the task executable) of each task on each host. A task can run
+// on a host only if a location is registered there.
+type ConstraintsDB struct {
+	mu sync.RWMutex
+	// locations[task][host] = absolute executable path
+	locations map[string]map[string]string
+}
+
+// NewConstraintsDB returns an empty constraints database.
+func NewConstraintsDB() *ConstraintsDB {
+	return &ConstraintsDB{locations: make(map[string]map[string]string)}
+}
+
+// ErrNoLocation is returned when a task has no executable on a host.
+var ErrNoLocation = errors.New("repository: no executable location")
+
+// SetLocation registers the executable path of task on host.
+func (db *ConstraintsDB) SetLocation(task, host, path string) error {
+	if task == "" || host == "" || path == "" {
+		return errors.New("repository: SetLocation requires task, host, and path")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	m, ok := db.locations[task]
+	if !ok {
+		m = make(map[string]string)
+		db.locations[task] = m
+	}
+	m[host] = path
+	return nil
+}
+
+// Location returns the executable path of task on host.
+func (db *ConstraintsDB) Location(task, host string) (string, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if p, ok := db.locations[task][host]; ok {
+		return p, nil
+	}
+	return "", fmt.Errorf("%w: task %s on host %s", ErrNoLocation, task, host)
+}
+
+// HasTask reports whether host can run task.
+func (db *ConstraintsDB) HasTask(task, host string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.locations[task][host]
+	return ok
+}
+
+// HostsWithTask returns the hosts where task is installed, sorted.
+func (db *ConstraintsDB) HostsWithTask(task string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	m := db.locations[task]
+	out := make([]string, 0, len(m))
+	for h := range m {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RemoveHost drops every location on the given host (host
+// decommissioned).
+func (db *ConstraintsDB) RemoveHost(host string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, m := range db.locations {
+		delete(m, host)
+	}
+}
+
+// InstallEverywhere registers task at path on every listed host — a
+// convenience for testbed setup.
+func (db *ConstraintsDB) InstallEverywhere(task, path string, hosts []string) error {
+	for _, h := range hosts {
+		if err := db.SetLocation(task, h, path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// constraintRow is the serialized form.
+type constraintRow struct {
+	Task string `json:"task"`
+	Host string `json:"host"`
+	Path string `json:"path"`
+}
+
+func (db *ConstraintsDB) snapshot() []constraintRow {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []constraintRow
+	for task, m := range db.locations {
+		for host, path := range m {
+			out = append(out, constraintRow{Task: task, Host: host, Path: path})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Task != out[j].Task {
+			return out[i].Task < out[j].Task
+		}
+		return out[i].Host < out[j].Host
+	})
+	return out
+}
+
+func (db *ConstraintsDB) restore(rows []constraintRow) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.locations = make(map[string]map[string]string)
+	for _, r := range rows {
+		m, ok := db.locations[r.Task]
+		if !ok {
+			m = make(map[string]string)
+			db.locations[r.Task] = m
+		}
+		m[r.Host] = r.Path
+	}
+}

@@ -1,0 +1,227 @@
+package repository
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// HostStatus is the availability state the Resource Controller maintains.
+type HostStatus string
+
+const (
+	// HostUp means the host answers echo packets.
+	HostUp HostStatus = "up"
+	// HostDown means the Group Manager detected a failure; the paper says
+	// the host "is then marked as down at the site's
+	// resource-performance database".
+	HostDown HostStatus = "down"
+)
+
+// WorkloadSample is one monitor measurement of a host.
+type WorkloadSample struct {
+	// CPULoad is the fraction of CPU consumed by other work, in [0, 1).
+	CPULoad float64 `json:"cpu_load"`
+	// AvailMemBytes is currently available memory.
+	AvailMemBytes int64 `json:"avail_mem_bytes"`
+	// Time is when the sample was taken.
+	Time time.Time `json:"time"`
+}
+
+// ResourceInfo carries the paper's resource-performance attributes: host
+// name, IP address, architecture type, OS type, total memory, recent
+// workload measurements, and available memory — plus site/group placement
+// and a relative speed factor used by performance prediction.
+type ResourceInfo struct {
+	HostName    string           `json:"host_name"`
+	IPAddress   string           `json:"ip_address"`
+	ArchType    string           `json:"arch_type"`
+	OSType      string           `json:"os_type"`
+	TotalMem    int64            `json:"total_mem_bytes"`
+	AvailMem    int64            `json:"avail_mem_bytes"`
+	Site        string           `json:"site"`
+	Group       string           `json:"group"`
+	SpeedFactor float64          `json:"speed_factor"` // relative to the base processor (1.0)
+	Status      HostStatus       `json:"status"`
+	CPULoad     float64          `json:"cpu_load"`
+	LastSeen    time.Time        `json:"last_seen"`
+	RecentLoads []WorkloadSample `json:"recent_loads,omitempty"`
+}
+
+// MachineType is the editor-facing "machine type" label for preference
+// matching: "<arch> <os>", e.g. "SUN Solaris".
+func (r *ResourceInfo) MachineType() string {
+	return r.ArchType + " " + r.OSType
+}
+
+// maxRecent bounds the per-host workload history ring.
+const maxRecent = 32
+
+// ResourceDB is the resource-performance database of one site.
+type ResourceDB struct {
+	mu    sync.RWMutex
+	hosts map[string]*ResourceInfo
+}
+
+// NewResourceDB returns an empty resource database.
+func NewResourceDB() *ResourceDB {
+	return &ResourceDB{hosts: make(map[string]*ResourceInfo)}
+}
+
+// Errors returned by resource operations.
+var (
+	ErrUnknownHost = errors.New("repository: unknown host")
+	ErrHostExists  = errors.New("repository: host already registered")
+)
+
+// AddHost registers a host. SpeedFactor defaults to 1 and status to up.
+func (db *ResourceDB) AddHost(info ResourceInfo) error {
+	if info.HostName == "" {
+		return errors.New("repository: empty host name")
+	}
+	if info.SpeedFactor <= 0 {
+		info.SpeedFactor = 1
+	}
+	if info.Status == "" {
+		info.Status = HostUp
+	}
+	if info.AvailMem == 0 {
+		info.AvailMem = info.TotalMem
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.hosts[info.HostName]; ok {
+		return fmt.Errorf("%w: %s", ErrHostExists, info.HostName)
+	}
+	c := info
+	db.hosts[info.HostName] = &c
+	return nil
+}
+
+// UpdateWorkload records a monitor sample for the host, updating the
+// current load/memory fields and the bounded history ring.
+func (db *ResourceDB) UpdateWorkload(host string, s WorkloadSample) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	h, ok := db.hosts[host]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, host)
+	}
+	h.CPULoad = s.CPULoad
+	h.AvailMem = s.AvailMemBytes
+	h.LastSeen = s.Time
+	h.RecentLoads = append(h.RecentLoads, s)
+	if len(h.RecentLoads) > maxRecent {
+		h.RecentLoads = h.RecentLoads[len(h.RecentLoads)-maxRecent:]
+	}
+	return nil
+}
+
+// SetStatus marks a host up or down (failure detection outcome).
+func (db *ResourceDB) SetStatus(host string, st HostStatus) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	h, ok := db.hosts[host]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, host)
+	}
+	h.Status = st
+	return nil
+}
+
+// Host returns a copy of the named host's record.
+func (db *ResourceDB) Host(name string) (ResourceInfo, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	h, ok := db.hosts[name]
+	if !ok {
+		return ResourceInfo{}, fmt.Errorf("%w: %s", ErrUnknownHost, name)
+	}
+	return cloneResource(h), nil
+}
+
+// Hosts returns copies of all host records sorted by name.
+func (db *ResourceDB) Hosts() []ResourceInfo {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]ResourceInfo, 0, len(db.hosts))
+	for _, h := range db.hosts {
+		out = append(out, cloneResource(h))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].HostName < out[j].HostName })
+	return out
+}
+
+// UpHosts returns copies of all hosts currently marked up, sorted by name.
+func (db *ResourceDB) UpHosts() []ResourceInfo {
+	all := db.Hosts()
+	out := all[:0]
+	for _, h := range all {
+		if h.Status == HostUp {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// GroupHosts returns the up hosts in the given group, sorted by name.
+func (db *ResourceDB) GroupHosts(group string) []ResourceInfo {
+	all := db.UpHosts()
+	out := all[:0]
+	for _, h := range all {
+		if h.Group == group {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Groups returns the distinct group names, sorted.
+func (db *ResourceDB) Groups() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	set := make(map[string]bool)
+	for _, h := range db.hosts {
+		set[h.Group] = true
+	}
+	out := make([]string, 0, len(set))
+	for g := range set {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RemoveHost deletes a host record.
+func (db *ResourceDB) RemoveHost(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.hosts[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownHost, name)
+	}
+	delete(db.hosts, name)
+	return nil
+}
+
+func cloneResource(h *ResourceInfo) ResourceInfo {
+	c := *h
+	c.RecentLoads = append([]WorkloadSample(nil), h.RecentLoads...)
+	return c
+}
+
+func (db *ResourceDB) snapshot() []ResourceInfo {
+	return db.Hosts()
+}
+
+func (db *ResourceDB) restore(hosts []ResourceInfo) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.hosts = make(map[string]*ResourceInfo, len(hosts))
+	for i := range hosts {
+		h := hosts[i]
+		h.RecentLoads = append([]WorkloadSample(nil), hosts[i].RecentLoads...)
+		db.hosts[h.HostName] = &h
+	}
+}

@@ -1,0 +1,213 @@
+package repository
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// TaskParams are the paper's per-task-implementation parameters:
+// computation size, communication size, required memory size, plus the
+// measured execution time on the base processor that level computation
+// uses as the computation cost.
+type TaskParams struct {
+	Name string `json:"name"`
+	// ComputationOps is the task's computation size in abstract operations
+	// (the prediction model divides by effective host speed in ops/sec).
+	ComputationOps float64 `json:"computation_ops"`
+	// CommunicationBytes is the task's aggregate communication size.
+	CommunicationBytes int64 `json:"communication_bytes"`
+	// RequiredMemBytes is the memory footprint a host must provide.
+	RequiredMemBytes int64 `json:"required_mem_bytes"`
+	// BaseTime is the measured execution time on the base processor
+	// (speed factor 1.0), stored by the paper in the task-performance
+	// database and used as the level-computation cost.
+	BaseTime time.Duration `json:"base_time"`
+	// Parallelizable marks tasks with a parallel implementation; Serial
+	// fraction follows Amdahl's law in the prediction model.
+	Parallelizable bool    `json:"parallelizable"`
+	SerialFraction float64 `json:"serial_fraction,omitempty"`
+}
+
+// Measurement is one observed execution of a task on a host.
+type Measurement struct {
+	Host    string        `json:"host"`
+	Elapsed time.Duration `json:"elapsed"`
+	Time    time.Time     `json:"time"`
+}
+
+// perTask couples static parameters with the per-host exponentially
+// smoothed execution times the Site Manager writes back after runs.
+type perTask struct {
+	Params   TaskParams
+	Smoothed map[string]time.Duration // host -> smoothed measured time
+	History  []Measurement
+}
+
+// TaskPerfDB is the task-performance database: performance
+// characteristics for each task, used to predict the performance of a
+// task on a given resource.
+type TaskPerfDB struct {
+	mu    sync.RWMutex
+	tasks map[string]*perTask
+	// Alpha is the exponential smoothing weight for new measurements.
+	Alpha float64
+}
+
+// maxHistory bounds the stored per-task measurement log.
+const maxHistory = 128
+
+// NewTaskPerfDB returns an empty task-performance database with smoothing
+// weight 0.5.
+func NewTaskPerfDB() *TaskPerfDB {
+	return &TaskPerfDB{tasks: make(map[string]*perTask), Alpha: 0.5}
+}
+
+// ErrUnknownTask is returned when a task has no performance record.
+var ErrUnknownTask = errors.New("repository: unknown task")
+
+// RegisterTask stores (or replaces) the static parameters of a task.
+func (db *TaskPerfDB) RegisterTask(p TaskParams) error {
+	if p.Name == "" {
+		return errors.New("repository: empty task name")
+	}
+	if p.ComputationOps < 0 || p.CommunicationBytes < 0 || p.RequiredMemBytes < 0 {
+		return fmt.Errorf("repository: negative parameter for task %s", p.Name)
+	}
+	if p.SerialFraction < 0 || p.SerialFraction > 1 {
+		return fmt.Errorf("repository: serial fraction %g out of [0,1] for task %s", p.SerialFraction, p.Name)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	existing, ok := db.tasks[p.Name]
+	if ok {
+		existing.Params = p
+		return nil
+	}
+	db.tasks[p.Name] = &perTask{Params: p, Smoothed: make(map[string]time.Duration)}
+	return nil
+}
+
+// Params returns the static parameters of the named task.
+func (db *TaskPerfDB) Params(name string) (TaskParams, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tasks[name]
+	if !ok {
+		return TaskParams{}, fmt.Errorf("%w: %s", ErrUnknownTask, name)
+	}
+	return t.Params, nil
+}
+
+// BaseTime returns the base-processor execution time used as the level
+// cost, or an error for unknown tasks.
+func (db *TaskPerfDB) BaseTime(name string) (time.Duration, error) {
+	p, err := db.Params(name)
+	if err != nil {
+		return 0, err
+	}
+	return p.BaseTime, nil
+}
+
+// RecordExecution folds a measured execution into the per-host smoothed
+// estimate — this is the Site Manager's "updates the task-performance
+// database with the execution time after an application execution is
+// completed".
+func (db *TaskPerfDB) RecordExecution(task, host string, elapsed time.Duration, at time.Time) error {
+	if elapsed < 0 {
+		return fmt.Errorf("repository: negative elapsed for %s on %s", task, host)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, ok := db.tasks[task]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownTask, task)
+	}
+	prev, seen := t.Smoothed[host]
+	if !seen {
+		t.Smoothed[host] = elapsed
+	} else {
+		a := db.Alpha
+		t.Smoothed[host] = time.Duration(a*float64(elapsed) + (1-a)*float64(prev))
+	}
+	t.History = append(t.History, Measurement{Host: host, Elapsed: elapsed, Time: at})
+	if len(t.History) > maxHistory {
+		t.History = t.History[len(t.History)-maxHistory:]
+	}
+	return nil
+}
+
+// MeasuredTime returns the smoothed measured execution time of task on
+// host and whether any measurement exists.
+func (db *TaskPerfDB) MeasuredTime(task, host string) (time.Duration, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tasks[task]
+	if !ok {
+		return 0, false
+	}
+	d, ok := t.Smoothed[host]
+	return d, ok
+}
+
+// History returns a copy of the stored measurement log for a task.
+func (db *TaskPerfDB) History(task string) []Measurement {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tasks[task]
+	if !ok {
+		return nil
+	}
+	return append([]Measurement(nil), t.History...)
+}
+
+// TaskNames returns the registered task names, sorted.
+func (db *TaskPerfDB) TaskNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.tasks))
+	for n := range db.tasks {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// taskPerfSnapshot is the serialized form of one task's record.
+type taskPerfSnapshot struct {
+	Params   TaskParams               `json:"params"`
+	Smoothed map[string]time.Duration `json:"smoothed,omitempty"`
+	History  []Measurement            `json:"history,omitempty"`
+}
+
+func (db *TaskPerfDB) snapshot() []taskPerfSnapshot {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]taskPerfSnapshot, 0, len(db.tasks))
+	for _, t := range db.tasks {
+		s := taskPerfSnapshot{Params: t.Params, Smoothed: make(map[string]time.Duration, len(t.Smoothed))}
+		for h, d := range t.Smoothed {
+			s.Smoothed[h] = d
+		}
+		s.History = append(s.History, t.History...)
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Params.Name < out[j].Params.Name })
+	return out
+}
+
+func (db *TaskPerfDB) restore(snaps []taskPerfSnapshot) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tasks = make(map[string]*perTask, len(snaps))
+	for _, s := range snaps {
+		t := &perTask{Params: s.Params, Smoothed: make(map[string]time.Duration, len(s.Smoothed))}
+		for h, d := range s.Smoothed {
+			t.Smoothed[h] = d
+		}
+		t.History = append(t.History, s.History...)
+		db.tasks[s.Params.Name] = t
+	}
+}

@@ -1,0 +1,186 @@
+package repository
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRegisterAndParams(t *testing.T) {
+	db := NewTaskPerfDB()
+	p := TaskParams{Name: "LU_Decomposition", ComputationOps: 1e9, CommunicationBytes: 1 << 20,
+		RequiredMemBytes: 1 << 24, BaseTime: 2 * time.Second, Parallelizable: true, SerialFraction: 0.1}
+	if err := db.RegisterTask(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Params("LU_Decomposition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("Params = %+v, want %+v", got, p)
+	}
+	bt, err := db.BaseTime("LU_Decomposition")
+	if err != nil || bt != 2*time.Second {
+		t.Fatalf("BaseTime = %v, %v", bt, err)
+	}
+	if _, err := db.Params("missing"); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("unknown: %v", err)
+	}
+	if _, err := db.BaseTime("missing"); err == nil {
+		t.Fatal("BaseTime on missing task should fail")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	db := NewTaskPerfDB()
+	bad := []TaskParams{
+		{},
+		{Name: "x", ComputationOps: -1},
+		{Name: "x", CommunicationBytes: -1},
+		{Name: "x", RequiredMemBytes: -1},
+		{Name: "x", SerialFraction: 1.5},
+		{Name: "x", SerialFraction: -0.1},
+	}
+	for i, p := range bad {
+		if err := db.RegisterTask(p); err == nil {
+			t.Errorf("case %d: bad params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestReRegisterKeepsMeasurements(t *testing.T) {
+	db := NewTaskPerfDB()
+	if err := db.RegisterTask(TaskParams{Name: "t", BaseTime: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RecordExecution("t", "h1", 3*time.Second, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterTask(TaskParams{Name: "t", BaseTime: 2 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := db.MeasuredTime("t", "h1"); !ok || d != 3*time.Second {
+		t.Fatalf("measurement lost after re-register: %v %v", d, ok)
+	}
+	if bt, _ := db.BaseTime("t"); bt != 2*time.Second {
+		t.Fatal("re-register did not update params")
+	}
+}
+
+func TestRecordExecutionSmoothing(t *testing.T) {
+	db := NewTaskPerfDB() // Alpha = 0.5
+	if err := db.RegisterTask(TaskParams{Name: "t", BaseTime: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	if err := db.RecordExecution("t", "h", 4*time.Second, now); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := db.MeasuredTime("t", "h"); d != 4*time.Second {
+		t.Fatalf("first measurement should be taken as-is, got %v", d)
+	}
+	if err := db.RecordExecution("t", "h", 2*time.Second, now); err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := db.MeasuredTime("t", "h"); d != 3*time.Second {
+		t.Fatalf("smoothed = %v, want 3s", d)
+	}
+	if err := db.RecordExecution("t", "h", -time.Second, now); err == nil {
+		t.Fatal("negative elapsed accepted")
+	}
+	if err := db.RecordExecution("ghost", "h", time.Second, now); !errors.Is(err, ErrUnknownTask) {
+		t.Fatalf("unknown task: %v", err)
+	}
+	if _, ok := db.MeasuredTime("t", "unmeasured-host"); ok {
+		t.Fatal("measurement invented for unmeasured host")
+	}
+	if _, ok := db.MeasuredTime("ghost", "h"); ok {
+		t.Fatal("measurement invented for unknown task")
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	db := NewTaskPerfDB()
+	if err := db.RegisterTask(TaskParams{Name: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < maxHistory+20; i++ {
+		if err := db.RecordExecution("t", "h", time.Duration(i), time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := db.History("t")
+	if len(h) != maxHistory {
+		t.Fatalf("history length %d, want %d", len(h), maxHistory)
+	}
+	if h[len(h)-1].Elapsed != time.Duration(maxHistory+19) {
+		t.Fatal("history lost the newest measurement")
+	}
+	if db.History("ghost") != nil {
+		t.Fatal("history for unknown task should be nil")
+	}
+}
+
+func TestTaskNamesSorted(t *testing.T) {
+	db := NewTaskPerfDB()
+	for _, n := range []string{"zz", "aa", "mm"} {
+		if err := db.RegisterTask(TaskParams{Name: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := db.TaskNames()
+	if len(names) != 3 || names[0] != "aa" || names[2] != "zz" {
+		t.Fatalf("TaskNames = %v", names)
+	}
+}
+
+// Property: smoothing always lands between the previous estimate and the
+// new measurement (a convexity invariant of exponential smoothing).
+func TestSmoothingConvexProperty(t *testing.T) {
+	f := func(prevMs, nextMs uint16) bool {
+		db := NewTaskPerfDB()
+		if err := db.RegisterTask(TaskParams{Name: "t"}); err != nil {
+			return false
+		}
+		prev := time.Duration(prevMs) * time.Millisecond
+		next := time.Duration(nextMs) * time.Millisecond
+		_ = db.RecordExecution("t", "h", prev, time.Now())
+		_ = db.RecordExecution("t", "h", next, time.Now())
+		got, _ := db.MeasuredTime("t", "h")
+		lo, hi := prev, next
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(9))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTaskPerfConcurrent(t *testing.T) {
+	db := NewTaskPerfDB()
+	if err := db.RegisterTask(TaskParams{Name: "t"}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if err := db.RecordExecution("t", "h", time.Millisecond, time.Now()); err != nil {
+					t.Errorf("record: %v", err)
+					return
+				}
+				_, _ = db.MeasuredTime("t", "h")
+				_ = db.History("t")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,103 @@
+package services
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DSM is the distributed-shared-memory extension the paper's conclusion
+// promises ("a distributed shared memory model that will allow VDCE
+// users to describe their applications using a shared memory paradigm").
+// It provides a sequentially consistent page store: all operations are
+// serialized through a single owner goroutine per DSM instance, so every
+// process observes the same total order of writes.
+type DSM struct {
+	ops  chan dsmOp
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type dsmOp struct {
+	kind  byte // 'r', 'w', 'c' (compare-and-swap)
+	key   string
+	value []byte
+	old   []byte
+	reply chan dsmReply
+}
+
+type dsmReply struct {
+	value []byte
+	ok    bool
+}
+
+// NewDSM starts the owner goroutine.
+func NewDSM() *DSM {
+	d := &DSM{ops: make(chan dsmOp), done: make(chan struct{})}
+	d.wg.Add(1)
+	go d.owner()
+	return d
+}
+
+func (d *DSM) owner() {
+	defer d.wg.Done()
+	pages := make(map[string][]byte)
+	for {
+		select {
+		case <-d.done:
+			return
+		case op := <-d.ops:
+			switch op.kind {
+			case 'r':
+				v, ok := pages[op.key]
+				op.reply <- dsmReply{value: append([]byte(nil), v...), ok: ok}
+			case 'w':
+				pages[op.key] = append([]byte(nil), op.value...)
+				op.reply <- dsmReply{ok: true}
+			case 'c':
+				cur := pages[op.key]
+				if string(cur) == string(op.old) {
+					pages[op.key] = append([]byte(nil), op.value...)
+					op.reply <- dsmReply{ok: true}
+				} else {
+					op.reply <- dsmReply{value: append([]byte(nil), cur...), ok: false}
+				}
+			}
+		}
+	}
+}
+
+// Close stops the owner. Operations after Close return an error.
+func (d *DSM) Close() {
+	close(d.done)
+	d.wg.Wait()
+}
+
+func (d *DSM) do(op dsmOp) (dsmReply, error) {
+	op.reply = make(chan dsmReply, 1)
+	select {
+	case d.ops <- op:
+		return <-op.reply, nil
+	case <-d.done:
+		return dsmReply{}, fmt.Errorf("services: DSM closed")
+	}
+}
+
+// Read returns the page's current value and whether it exists.
+func (d *DSM) Read(key string) ([]byte, bool, error) {
+	r, err := d.do(dsmOp{kind: 'r', key: key})
+	return r.value, r.ok, err
+}
+
+// Write stores a page.
+func (d *DSM) Write(key string, value []byte) error {
+	_, err := d.do(dsmOp{kind: 'w', key: key, value: value})
+	return err
+}
+
+// CompareAndSwap writes value only if the page currently equals old
+// (nil means "absent"). It reports whether the swap happened and, when
+// it did not, the current value.
+func (d *DSM) CompareAndSwap(key string, old, value []byte) (bool, []byte, error) {
+	r, err := d.do(dsmOp{kind: 'c', key: key, old: old, value: value})
+	return r.ok, r.value, err
+}

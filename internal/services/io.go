@@ -1,0 +1,106 @@
+package services
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"vdce/internal/afg"
+)
+
+// IOService provides the paper's "either file I/O or URL I/O for the
+// inputs of the application tasks". File paths are confined to a root
+// directory (each VDCE user's area); URLs are fetched over HTTP.
+type IOService struct {
+	// Root is the directory file paths resolve under. Absolute input
+	// paths like Fig. 1's /users/VDCE/user_k/matrix_A.dat are mapped
+	// beneath it.
+	Root string
+	// Client performs URL fetches; defaults to a client with a 10s
+	// timeout.
+	Client *http.Client
+}
+
+// NewIOService returns a service rooted at root.
+func NewIOService(root string) *IOService {
+	return &IOService{Root: root, Client: &http.Client{Timeout: 10 * time.Second}}
+}
+
+// ErrOutsideRoot is returned when a path escapes the service root.
+var ErrOutsideRoot = errors.New("services: path escapes I/O root")
+
+// resolve maps a user path (possibly absolute) into the root.
+func (s *IOService) resolve(path string) (string, error) {
+	if path == "" {
+		return "", errors.New("services: empty path")
+	}
+	cleaned := filepath.Clean("/" + path) // forces absolute, squeezes ..
+	full := filepath.Join(s.Root, cleaned)
+	rootAbs, err := filepath.Abs(s.Root)
+	if err != nil {
+		return "", err
+	}
+	fullAbs, err := filepath.Abs(full)
+	if err != nil {
+		return "", err
+	}
+	if fullAbs != rootAbs && !strings.HasPrefix(fullAbs, rootAbs+string(filepath.Separator)) {
+		return "", fmt.Errorf("%w: %s", ErrOutsideRoot, path)
+	}
+	return fullAbs, nil
+}
+
+// Read loads the bytes behind a FileSpec: URL fetch for URL specs, root-
+// confined file read otherwise. Dataflow specs have no backing bytes.
+func (s *IOService) Read(spec afg.FileSpec) ([]byte, error) {
+	if spec.Dataflow && spec.Path == "" {
+		return nil, errors.New("services: dataflow input has no file")
+	}
+	if spec.URL {
+		client := s.Client
+		if client == nil {
+			client = &http.Client{Timeout: 10 * time.Second}
+		}
+		resp, err := client.Get(spec.Path)
+		if err != nil {
+			return nil, fmt.Errorf("services: url fetch: %w", err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("services: url fetch %s: status %d", spec.Path, resp.StatusCode)
+		}
+		return io.ReadAll(resp.Body)
+	}
+	full, err := s.resolve(spec.Path)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(full)
+}
+
+// Write stores task output bytes under the root, creating directories.
+func (s *IOService) Write(path string, data []byte) error {
+	full, err := s.resolve(path)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(full, data, 0o644)
+}
+
+// Exists reports whether the path resolves to a stored file.
+func (s *IOService) Exists(path string) bool {
+	full, err := s.resolve(path)
+	if err != nil {
+		return false
+	}
+	_, err = os.Stat(full)
+	return err == nil
+}

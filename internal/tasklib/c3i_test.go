@@ -1,0 +1,91 @@
+package tasklib
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSensorFeedDeterministic(t *testing.T) {
+	r := Default()
+	c := &Context{Args: map[string]string{"targets": "20", "seed": "9"}}
+	a := run(t, r, "Sensor_Feed", c)[0].([]Track)
+	b := run(t, r, "Sensor_Feed", c)[0].([]Track)
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("track counts %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different tracks")
+		}
+	}
+	spec, _ := r.Get("Sensor_Feed")
+	if _, err := spec.Fn(&Context{Args: map[string]string{"targets": "-1"}}); err == nil {
+		t.Fatal("negative targets accepted")
+	}
+}
+
+func TestFuseTracksMatching(t *testing.T) {
+	a := []Track{{ID: 1, X: 0, Y: 0, Strength: 0.5, Class: "unknown"}}
+	b := []Track{{ID: 7, X: 1, Y: 0, Strength: 0.5, Class: "hostile"}}
+	fused := FuseTracks(a, b, 5)
+	if len(fused) != 1 {
+		t.Fatalf("fused = %d tracks, want 1", len(fused))
+	}
+	// Position is the strength-weighted mean; class inherited from b.
+	if math.Abs(fused[0].X-0.5) > 1e-12 || fused[0].Class != "hostile" {
+		t.Fatalf("fused track wrong: %+v", fused[0])
+	}
+	// Outside the gate both survive.
+	far := FuseTracks(a, []Track{{ID: 7, X: 100, Strength: 0.5}}, 5)
+	if len(far) != 2 {
+		t.Fatalf("far tracks fused: %v", far)
+	}
+	// Nil inputs are fine.
+	if got := FuseTracks(nil, nil, 5); len(got) != 0 {
+		t.Fatal("empty fusion produced tracks")
+	}
+}
+
+func TestEvaluateThreatsOrdering(t *testing.T) {
+	tracks := []Track{
+		{ID: 1, X: 100, Y: 100, Class: "friendly", Strength: 1},            // no threat
+		{ID: 2, X: 10, Y: 0, VX: -1, VY: 0, Class: "hostile", Strength: 1}, // big threat
+		{ID: 3, X: 40, Y: 0, Class: "hostile", Strength: 1},                // medium
+	}
+	threats := EvaluateThreats(tracks)
+	if len(threats) != 2 {
+		t.Fatalf("threats = %v", threats)
+	}
+	if threats[0].TrackID != 2 || threats[1].TrackID != 3 {
+		t.Fatalf("ordering wrong: %v", threats)
+	}
+	if threats[0].Score <= threats[1].Score {
+		t.Fatal("scores not descending")
+	}
+	if !strings.Contains(threats[0].Reason, "hostile") || !strings.Contains(threats[0].Reason, "inbound") {
+		t.Fatalf("reasons missing: %q", threats[0].Reason)
+	}
+}
+
+func TestC3ITaskWrappers(t *testing.T) {
+	r := Default()
+	s1 := run(t, r, "Sensor_Feed", &Context{Args: map[string]string{"targets": "30", "seed": "1"}})[0]
+	s2 := run(t, r, "Sensor_Feed", &Context{Args: map[string]string{"targets": "30", "seed": "2"}})[0]
+	fused := run(t, r, "Data_Fusion", &Context{In: []Value{s1, s2}})[0]
+	filtered := run(t, r, "Track_Filter", &Context{In: []Value{fused}})[0]
+	threats := run(t, r, "Threat_Evaluation", &Context{In: []Value{filtered}})[0]
+	report := run(t, r, "Report_Generator", &Context{In: []Value{threats}})[0].(string)
+	if !strings.Contains(report, "C3I THREAT REPORT") {
+		t.Fatalf("report = %q", report)
+	}
+	// Type errors propagate.
+	spec, _ := r.Get("Data_Fusion")
+	if _, err := spec.Fn(&Context{In: []Value{"x", "y"}}); err == nil {
+		t.Fatal("junk inputs accepted")
+	}
+	rspec, _ := r.Get("Report_Generator")
+	if _, err := rspec.Fn(&Context{In: []Value{"zz"}}); err == nil {
+		t.Fatal("junk threats accepted")
+	}
+}

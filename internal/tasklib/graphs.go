@@ -1,0 +1,168 @@
+package tasklib
+
+import (
+	"fmt"
+	"strconv"
+
+	"vdce/internal/afg"
+)
+
+// BuildLinearEquationSolver constructs the paper's Fig. 1 application:
+// the Linear Equation Solver. The graph computes x = inv(A) * b via LU
+// decomposition and verifies the residual:
+//
+//	Matrix_Generate(A)──► LU_Decomposition ──► Matrix_Inversion ──┐
+//	        │                (parallel x2)                        ▼
+//	        │             Vector_Generate(b) ─────────► Matrix_Multiplication ──► x
+//	        │                     │                               │
+//	        └─────────────────────┴───────────► Residual_Norm ◄───┘
+//
+// Task properties mirror the figure's two properties windows:
+// LU_Decomposition runs in parallel mode on two nodes with matrix_A.dat
+// as input; Matrix_Multiplication is sequential with two dataflow inputs,
+// a preferred machine type of "SUN Solaris", and vector_X.dat as output.
+func BuildLinearEquationSolver(n int, seed int64) (*afg.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("tasklib: LES size %d", n)
+	}
+	g := afg.NewGraph("Linear Equation Solver")
+	g.Owner = "user_k"
+	matBytes := int64(n) * int64(n) * 8
+	vecBytes := int64(n) * 8
+	g.InputSizeBytes = matBytes
+
+	genA := g.AddTask("Matrix_Generate", "matrix", 0, 1)
+	genB := g.AddTask("Vector_Generate", "matrix", 0, 1)
+	lu := g.AddTask("LU_Decomposition", "matrix", 1, 1)
+	inv := g.AddTask("Matrix_Inversion", "matrix", 1, 1)
+	mul := g.AddTask("Matrix_Multiplication", "matrix", 2, 1)
+	res := g.AddTask("Residual_Norm", "matrix", 3, 1)
+
+	if err := g.SetProps(genA, afg.Properties{
+		Mode: afg.Sequential,
+		Args: map[string]string{"n": strconv.Itoa(n), "seed": strconv.FormatInt(seed, 10)},
+		Outputs: []afg.FileSpec{
+			{Path: "/users/VDCE/user_k/matrix_A.dat", SizeBytes: matBytes},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := g.SetProps(genB, afg.Properties{
+		Mode: afg.Sequential,
+		Args: map[string]string{"n": strconv.Itoa(n), "seed": strconv.FormatInt(seed+1, 10)},
+		Outputs: []afg.FileSpec{
+			{Path: "/users/VDCE/user_k/vector_b.dat", SizeBytes: vecBytes},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	// Fig. 1, left properties window.
+	if err := g.SetProps(lu, afg.Properties{
+		Mode:  afg.Parallel,
+		Nodes: 2,
+		Inputs: []afg.FileSpec{
+			{Path: "/users/VDCE/user_k/matrix_A.dat", SizeBytes: matBytes, Dataflow: true},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := g.SetProps(inv, afg.Properties{Mode: afg.Parallel, Nodes: 2}); err != nil {
+		return nil, err
+	}
+	// Fig. 1, right properties window.
+	if err := g.SetProps(mul, afg.Properties{
+		Mode:        afg.Sequential,
+		MachineType: "SUN Solaris",
+		Outputs: []afg.FileSpec{
+			{Path: "/users/VDCE/user_k/vector_X.dat", SizeBytes: vecBytes},
+		},
+	}); err != nil {
+		return nil, err
+	}
+	if err := g.SetProps(res, afg.Properties{Mode: afg.Sequential}); err != nil {
+		return nil, err
+	}
+
+	type conn struct {
+		from     afg.TaskID
+		fp       int
+		to       afg.TaskID
+		tp       int
+		sizeHint int64
+	}
+	for _, c := range []conn{
+		{genA, 0, lu, 0, matBytes},
+		{lu, 0, inv, 0, 2 * matBytes},
+		{inv, 0, mul, 0, matBytes},
+		{genB, 0, mul, 1, vecBytes},
+		{genA, 0, res, 0, matBytes},
+		{mul, 0, res, 1, vecBytes},
+		{genB, 0, res, 2, vecBytes},
+	} {
+		if err := g.Connect(c.from, c.fp, c.to, c.tp, c.sizeHint); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// BuildC3IPipeline constructs a command-and-control application from the
+// paper's C3I library: two sensor feeds fused, filtered, threat-scored,
+// and reported.
+func BuildC3IPipeline(targets int, seed int64) (*afg.Graph, error) {
+	if targets < 0 {
+		return nil, fmt.Errorf("tasklib: negative target count %d", targets)
+	}
+	g := afg.NewGraph("C3I Surveillance Pipeline")
+	g.InputSizeBytes = int64(targets) * 64
+
+	s1 := g.AddTask("Sensor_Feed", "c3i", 0, 1)
+	s2 := g.AddTask("Sensor_Feed", "c3i", 0, 1)
+	fuse := g.AddTask("Data_Fusion", "c3i", 2, 1)
+	filt := g.AddTask("Track_Filter", "c3i", 1, 1)
+	eval := g.AddTask("Threat_Evaluation", "c3i", 1, 1)
+	rep := g.AddTask("Report_Generator", "c3i", 1, 1)
+
+	ts := strconv.Itoa(targets)
+	if err := g.SetProps(s1, afg.Properties{
+		Args: map[string]string{"targets": ts, "seed": strconv.FormatInt(seed, 10)},
+	}); err != nil {
+		return nil, err
+	}
+	if err := g.SetProps(s2, afg.Properties{
+		Args: map[string]string{"targets": ts, "seed": strconv.FormatInt(seed+100, 10)},
+	}); err != nil {
+		return nil, err
+	}
+	if err := g.SetProps(fuse, afg.Properties{Mode: afg.Parallel, Nodes: 2}); err != nil {
+		return nil, err
+	}
+
+	trackBytes := int64(targets) * 64
+	type conn struct {
+		from afg.TaskID
+		to   afg.TaskID
+		tp   int
+	}
+	for _, c := range []conn{
+		{s1, fuse, 0}, {s2, fuse, 1},
+	} {
+		if err := g.Connect(c.from, 0, c.to, c.tp, trackBytes); err != nil {
+			return nil, err
+		}
+	}
+	for _, c := range []conn{
+		{fuse, filt, 0}, {filt, eval, 0}, {eval, rep, 0},
+	} {
+		if err := g.Connect(c.from, 0, c.to, c.tp, trackBytes); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

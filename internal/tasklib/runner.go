@@ -1,0 +1,51 @@
+package tasklib
+
+import (
+	"fmt"
+
+	"vdce/internal/afg"
+)
+
+// RunLocal executes an application flow graph synchronously in-process,
+// in topological order, with no scheduling or data management. It is the
+// reference executor: the distributed runtime must produce the same
+// values. The result maps each task to its output values (one per output
+// port).
+func RunLocal(g *afg.Graph, reg *Registry) (map[afg.TaskID][]Value, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	results := make(map[afg.TaskID][]Value, len(g.Tasks))
+	for _, id := range order {
+		task := g.Task(id)
+		spec, err := reg.Get(task.Name)
+		if err != nil {
+			return nil, fmt.Errorf("tasklib: task %d: %w", id, err)
+		}
+		in := make([]Value, task.InPorts)
+		for _, e := range g.InEdges(id) {
+			src, ok := results[e.From]
+			if !ok || e.FromPort >= len(src) {
+				return nil, fmt.Errorf("tasklib: task %d input %d not produced", id, e.ToPort)
+			}
+			in[e.ToPort] = src[e.FromPort]
+		}
+		nodes := task.Props.Nodes
+		if task.Props.Mode != afg.Parallel {
+			nodes = 1
+		}
+		out, err := spec.Fn(&Context{In: in, Args: task.Props.Args, Nodes: nodes})
+		if err != nil {
+			return nil, fmt.Errorf("tasklib: task %d (%s): %w", id, task.Name, err)
+		}
+		if len(out) != task.OutPorts {
+			return nil, fmt.Errorf("tasklib: task %d (%s) produced %d outputs, declared %d", id, task.Name, len(out), task.OutPorts)
+		}
+		results[id] = out
+	}
+	return results, nil
+}

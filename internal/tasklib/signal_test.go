@@ -1,0 +1,86 @@
+package tasklib
+
+import (
+	"testing"
+
+	"vdce/internal/dsp"
+)
+
+func TestSignalPipeline(t *testing.T) {
+	r := Default()
+	// Generate a two-tone signal, filter out the high tone, find the low
+	// peak in the spectrum.
+	sig := run(t, r, "Signal_Generate", &Context{Args: map[string]string{
+		"n": "1024", "f1": "16", "a1": "2", "f2": "400", "a2": "1", "noise": "0.01", "seed": "5",
+	}})[0]
+	filtered := run(t, r, "Lowpass_Filter", &Context{In: []Value{sig},
+		Args: map[string]string{"taps": "63", "cutoff": "0.05"}})[0]
+	if len(filtered.([]float64)) != 1024 {
+		t.Fatalf("filter changed length to %d", len(filtered.([]float64)))
+	}
+	ps := run(t, r, "Power_Spectrum", &Context{In: []Value{filtered}})[0]
+	peaks := run(t, r, "Peak_Detect", &Context{In: []Value{ps},
+		Args: map[string]string{"threshold": "10"}})[0].([]dsp.Peak)
+	if len(peaks) == 0 {
+		t.Fatal("no peaks found")
+	}
+	if peaks[0].Bin < 14 || peaks[0].Bin > 18 {
+		t.Fatalf("dominant peak at bin %d, want ~16", peaks[0].Bin)
+	}
+	// The 400-cycle tone must have been attenuated out of the peak list.
+	for _, p := range peaks {
+		if p.Bin > 380 && p.Bin < 420 {
+			t.Fatalf("high tone survived the filter: %+v", p)
+		}
+	}
+}
+
+func TestSignalGenerateValidation(t *testing.T) {
+	r := Default()
+	spec, _ := r.Get("Signal_Generate")
+	if _, err := spec.Fn(&Context{Args: map[string]string{"n": "1000"}}); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if _, err := spec.Fn(&Context{Args: map[string]string{"n": "64", "f1": "zz"}}); err == nil {
+		t.Fatal("bad tone arg accepted")
+	}
+	// Defaults produce a signal.
+	out, err := spec.Fn(&Context{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out[0].([]float64)) != 4096 {
+		t.Fatal("default signal wrong size")
+	}
+}
+
+func TestSignalTypeErrors(t *testing.T) {
+	r := Default()
+	for _, name := range []string{"Lowpass_Filter", "Power_Spectrum", "Peak_Detect"} {
+		spec, _ := r.Get(name)
+		if _, err := spec.Fn(&Context{In: []Value{"junk"}}); err == nil {
+			t.Errorf("%s accepted junk input", name)
+		}
+	}
+	// Power_Spectrum propagates FFT length errors.
+	spec, _ := r.Get("Power_Spectrum")
+	if _, err := spec.Fn(&Context{In: []Value{make([]float64, 100)}}); err == nil {
+		t.Fatal("non-power-of-two spectrum accepted")
+	}
+}
+
+func TestSignalValuesRoundTripGob(t *testing.T) {
+	peaks := []dsp.Peak{{Bin: 3, Power: 1.5}}
+	data, err := EncodeValue(peaks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeValue(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := back.([]dsp.Peak)
+	if len(got) != 1 || got[0] != peaks[0] {
+		t.Fatalf("round trip = %v", got)
+	}
+}

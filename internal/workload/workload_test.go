@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"vdce/internal/afg"
+	"vdce/internal/repository"
+)
+
+func TestAllFamiliesValidAndSized(t *testing.T) {
+	for _, fam := range Families() {
+		for _, n := range []int{1, 2, 5, 17, 60} {
+			w, err := fam.Gen(Params{Tasks: n, CCR: 1, Seed: 42})
+			if err != nil {
+				t.Fatalf("%s(%d): %v", fam.Name, n, err)
+			}
+			if err := w.G.Validate(); err != nil {
+				t.Fatalf("%s(%d): %v", fam.Name, n, err)
+			}
+			if len(w.G.Tasks) < n {
+				t.Fatalf("%s(%d): only %d tasks", fam.Name, n, len(w.G.Tasks))
+			}
+			if len(w.Costs) != len(w.G.Tasks) {
+				t.Fatalf("%s(%d): %d costs for %d tasks", fam.Name, n, len(w.Costs), len(w.G.Tasks))
+			}
+			for i, c := range w.Costs {
+				if c <= 0 {
+					t.Fatalf("%s(%d): task %d has cost %v", fam.Name, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, fam := range Families() {
+		a, err := fam.Gen(Params{Tasks: 30, CCR: 2, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fam.Gen(Params{Tasks: 30, CCR: 2, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.G.Edges) != len(b.G.Edges) {
+			t.Fatalf("%s: edge counts differ", fam.Name)
+		}
+		for i := range a.G.Edges {
+			if a.G.Edges[i] != b.G.Edges[i] {
+				t.Fatalf("%s: edge %d differs", fam.Name, i)
+			}
+		}
+		for i := range a.Costs {
+			if a.Costs[i] != b.Costs[i] {
+				t.Fatalf("%s: cost %d differs", fam.Name, i)
+			}
+		}
+	}
+}
+
+func TestCCRControlsEdgeBytes(t *testing.T) {
+	lo, err := Layered(Params{Tasks: 50, CCR: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Layered(Params{Tasks: 50, CCR: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(w *Graph) float64 {
+		var sum int64
+		for _, e := range w.G.Edges {
+			sum += e.SizeBytes
+		}
+		if len(w.G.Edges) == 0 {
+			return 0
+		}
+		return float64(sum) / float64(len(w.G.Edges))
+	}
+	if avg(hi) < 50*avg(lo) {
+		t.Fatalf("CCR 10 edges (%.0f B) not ~100x CCR 0.1 edges (%.0f B)", avg(hi), avg(lo))
+	}
+	zero, err := Layered(Params{Tasks: 20, CCR: 0, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range zero.G.Edges {
+		if e.SizeBytes != 0 {
+			t.Fatal("CCR 0 produced nonzero edges")
+		}
+	}
+}
+
+func TestStructuralShapes(t *testing.T) {
+	// In-tree: exactly one exit (the root, node 0).
+	tree, err := InTree(Params{Tasks: 15, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exits := tree.G.Exits(); len(exits) != 1 || exits[0] != 0 {
+		t.Fatalf("in-tree exits = %v", exits)
+	}
+	// Fork-join: single entry.
+	fj, err := ForkJoin(Params{Tasks: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries := fj.G.Entries(); len(entries) != 1 {
+		t.Fatalf("fork-join entries = %v", entries)
+	}
+	// FFT: N entries (rank 0) and N exits (last rank), every interior
+	// node has exactly 2 parents.
+	fft, err := FFT(Params{Tasks: 24, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nTotal := len(fft.G.Tasks)
+	entries := fft.G.Entries()
+	exits := fft.G.Exits()
+	if len(entries) != len(exits) {
+		t.Fatalf("fft entries %d != exits %d", len(entries), len(exits))
+	}
+	N := len(entries)
+	for i := N; i < nTotal; i++ {
+		if got := len(fft.G.Parents(afg.TaskID(i))); got < 1 || got > 2 {
+			t.Fatalf("fft node %d has %d parents", i, got)
+		}
+	}
+	// Gaussian elimination: single entry (first pivot).
+	ge, err := GaussianElimination(Params{Tasks: 14, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries := ge.G.Entries(); len(entries) != 1 {
+		t.Fatalf("gauss entries = %v", entries)
+	}
+}
+
+func TestInstall(t *testing.T) {
+	w, err := Layered(Params{Tasks: 10, CCR: 1, Seed: 2, MeanCost: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repo := repository.New("s1")
+	hosts := []string{"h1", "h2"}
+	if err := w.Install(repo, hosts); err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range w.G.Tasks {
+		p, err := repo.TaskPerf.Params(task.Name)
+		if err != nil {
+			t.Fatalf("task %d params: %v", i, err)
+		}
+		if p.BaseTime != w.Costs[i] {
+			t.Fatalf("task %d base time %v != cost %v", i, p.BaseTime, w.Costs[i])
+		}
+		if !repo.Constraints.HasTask(task.Name, "h2") {
+			t.Fatalf("task %d not installed on h2", i)
+		}
+	}
+}
+
+func TestCostFunc(t *testing.T) {
+	w, err := InTree(Params{Tasks: 7, Seed: 1, MeanCost: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := w.CostFunc()
+	for i := range w.Costs {
+		if cf(afg.TaskID(i)) != w.Costs[i].Seconds() {
+			t.Fatal("CostFunc mismatch")
+		}
+	}
+}

@@ -1,0 +1,340 @@
+// Package vdce is the public facade of the Virtual Distributed Computing
+// Environment reproduction: it wires the simulated wide-area testbed,
+// the per-site repositories and schedulers, the Control Manager daemons,
+// the execution engine, and the Application Editor into one Environment
+// that can build, schedule, and execute applications end to end.
+//
+// Reproduces Topcuoglu & Hariri, "A Global Computing Environment for
+// Networked Resources", ICPP 1997.
+package vdce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"vdce/internal/afg"
+	"vdce/internal/control"
+	"vdce/internal/core"
+	"vdce/internal/editor"
+	"vdce/internal/exec"
+	"vdce/internal/netmodel"
+	"vdce/internal/protocol"
+	"vdce/internal/repository"
+	"vdce/internal/services"
+	"vdce/internal/tasklib"
+	"vdce/internal/testbed"
+)
+
+// Config assembles an Environment.
+type Config struct {
+	// Testbed shapes the fabricated hardware (sites, groups, hosts).
+	Testbed testbed.Config
+	// K is the scheduler's nearest-neighbor site count (Fig. 2 step 2).
+	K int
+	// LoadThreshold is the Application Controller's rescheduling trigger;
+	// 0 disables it.
+	LoadThreshold float64
+	// DilationScale emulates heterogeneous host speeds during execution;
+	// 0 disables dilation.
+	DilationScale float64
+	// UseRPC runs a Site Manager RPC server per site and routes remote
+	// host selection over real TCP. When false, sites talk in-process.
+	UseRPC bool
+	// StartDaemons launches Monitor daemons and Group Managers; their
+	// cadence is MonitorPeriod.
+	StartDaemons  bool
+	MonitorPeriod time.Duration
+}
+
+// Environment is a fully wired VDCE instance.
+type Environment struct {
+	TB       *testbed.Testbed
+	Net      *netmodel.Network
+	Registry *tasklib.Registry
+	Sites    []*core.LocalSite
+	Managers []*control.SiteManager // non-nil when UseRPC
+	Groups   []*control.GroupManager
+	Engine   *exec.Engine
+	Console  *services.Console
+	Metrics  *services.Metrics
+
+	remoteClients []*control.RemoteSite
+	cancel        context.CancelFunc
+}
+
+// New builds and starts an Environment.
+func New(cfg Config) (*Environment, error) {
+	tb, err := testbed.Build(cfg.Testbed)
+	if err != nil {
+		return nil, err
+	}
+	env := &Environment{
+		TB:       tb,
+		Net:      tb.Net,
+		Registry: tasklib.Default(),
+		Console:  services.NewConsole(),
+		Metrics:  services.NewMetrics(),
+	}
+	// Install the task catalog and a default account at every site.
+	for _, site := range tb.Sites {
+		names := make([]string, len(site.Hosts))
+		for i, h := range site.Hosts {
+			names[i] = h.Name
+		}
+		if err := env.Registry.InstallInto(site.Repo, names); err != nil {
+			return nil, err
+		}
+		if _, err := site.Repo.Users.AddUser("user_k", "vdce", 5, repository.DomainGlobal); err != nil {
+			return nil, err
+		}
+		env.Sites = append(env.Sites, core.NewLocalSite(site.Repo))
+	}
+
+	if cfg.UseRPC {
+		for _, ls := range env.Sites {
+			sm, err := control.StartSiteManager(ls, "127.0.0.1:0")
+			if err != nil {
+				env.Close()
+				return nil, err
+			}
+			env.Managers = append(env.Managers, sm)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	env.cancel = cancel
+	if cfg.StartDaemons {
+		period := cfg.MonitorPeriod
+		if period <= 0 {
+			period = 250 * time.Millisecond
+		}
+		start := time.Now()
+		for si, site := range tb.Sites {
+			var reporter control.Reporter
+			if cfg.UseRPC {
+				reporter = env.Managers[si]
+			} else {
+				// In-process reporter without RPC: a SiteManager is not
+				// running, so apply updates directly.
+				reporter = directReporter{repo: site.Repo}
+			}
+			// Every forwarded workload also lands in the visualization
+			// service, the paper's "workload visualizations".
+			reporter = teeReporter{next: reporter, metrics: env.Metrics, start: start}
+			for _, gname := range site.GroupNames() {
+				gm := control.NewGroupManager(site.Name, gname, site.GroupHosts(gname), reporter, period)
+				gm.EchoPeriod = period
+				env.Groups = append(env.Groups, gm)
+				go gm.Run(ctx)
+			}
+		}
+	}
+
+	env.Engine = &exec.Engine{
+		Reg:           env.Registry,
+		TB:            tb,
+		LoadThreshold: cfg.LoadThreshold,
+		DilationScale: cfg.DilationScale,
+		Reschedule:    exec.NewRescheduler(env.Sites),
+		Console:       env.Console,
+		Metrics:       env.Metrics,
+	}
+	env.Engine.Record = func(rec protocol.ExecutionRecord) {
+		// Route the record to the owning site's task-performance DB.
+		for _, site := range env.Sites {
+			if _, err := site.Repo.Resources.Host(rec.Host); err == nil {
+				_ = site.Repo.TaskPerf.RecordExecution(rec.Task, rec.Host, rec.Elapsed, rec.At)
+				return
+			}
+		}
+	}
+	return env, nil
+}
+
+// teeReporter forwards Group Manager updates and mirrors workloads into
+// the visualization service.
+type teeReporter struct {
+	next    control.Reporter
+	metrics *services.Metrics
+	start   time.Time
+}
+
+func (t teeReporter) ApplyWorkloads(b protocol.WorkloadBatch) error {
+	for _, s := range b.Samples {
+		t.metrics.Add("load:"+s.Host, time.Since(t.start), s.Sample.CPULoad)
+	}
+	return t.next.ApplyWorkloads(b)
+}
+
+func (t teeReporter) ApplyFailure(n protocol.FailureNotice) error {
+	t.metrics.Add("failures:"+n.Group, time.Since(t.start), 1)
+	return t.next.ApplyFailure(n)
+}
+
+func (t teeReporter) ApplyRecovery(n protocol.RecoveryNotice) error {
+	t.metrics.Add("failures:"+n.Group, time.Since(t.start), 0)
+	return t.next.ApplyRecovery(n)
+}
+
+// directReporter applies Group Manager updates straight to a repository
+// (the no-RPC wiring).
+type directReporter struct{ repo *repository.Repository }
+
+func (d directReporter) ApplyWorkloads(b protocol.WorkloadBatch) error {
+	for _, s := range b.Samples {
+		if err := d.repo.Resources.UpdateWorkload(s.Host, s.Sample); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d directReporter) ApplyFailure(n protocol.FailureNotice) error {
+	return d.repo.Resources.SetStatus(n.Host, repository.HostDown)
+}
+
+func (d directReporter) ApplyRecovery(n protocol.RecoveryNotice) error {
+	return d.repo.Resources.SetStatus(n.Host, repository.HostUp)
+}
+
+// Close stops daemons, RPC servers, and client connections.
+func (env *Environment) Close() {
+	if env.cancel != nil {
+		env.cancel()
+	}
+	for _, rc := range env.remoteClients {
+		rc.Close()
+	}
+	for _, sm := range env.Managers {
+		sm.Close()
+	}
+}
+
+// SchedulerAt returns the Application Scheduler of site index i: its
+// local site plus every other site as a remote (over RPC when the
+// environment runs Site Managers).
+func (env *Environment) SchedulerAt(i int, k int) (*core.Scheduler, error) {
+	if i < 0 || i >= len(env.Sites) {
+		return nil, fmt.Errorf("vdce: no site %d", i)
+	}
+	var remotes []core.SiteService
+	for j, s := range env.Sites {
+		if j == i {
+			continue
+		}
+		if len(env.Managers) == len(env.Sites) {
+			rc, err := control.DialSite(s.SiteName(), env.Managers[j].Addr())
+			if err != nil {
+				return nil, err
+			}
+			env.remoteClients = append(env.remoteClients, rc)
+			remotes = append(remotes, rc)
+		} else {
+			remotes = append(remotes, s)
+		}
+	}
+	return core.NewScheduler(env.Sites[i], remotes, env.Net, k), nil
+}
+
+// CostFunc derives the level-computation cost function for g from site
+// 0's task-performance database (every site holds the same catalog).
+func (env *Environment) CostFunc(g *afg.Graph) (afg.CostFunc, error) {
+	if len(env.Sites) == 0 {
+		return nil, errors.New("vdce: no sites")
+	}
+	oracle := env.Sites[0].Oracle
+	costs := make([]float64, len(g.Tasks))
+	for i, task := range g.Tasks {
+		d, err := oracle.BaseTimeFor(task.Name)
+		if err != nil {
+			return nil, err
+		}
+		costs[i] = d.Seconds()
+	}
+	return func(id afg.TaskID) float64 { return costs[id] }, nil
+}
+
+// Schedule runs the distributed scheduler from site 0 with the
+// environment's K.
+func (env *Environment) Schedule(g *afg.Graph, k int) (*core.AllocationTable, error) {
+	sched, err := env.SchedulerAt(0, k)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := env.CostFunc(g)
+	if err != nil {
+		return nil, err
+	}
+	return sched.Schedule(g, cost)
+}
+
+// Run schedules and executes g, returning both artifacts.
+func (env *Environment) Run(ctx context.Context, g *afg.Graph, k int) (*core.AllocationTable, *exec.Result, error) {
+	table, err := env.Schedule(g, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := env.Engine.Execute(ctx, g, table)
+	if err != nil {
+		return table, nil, err
+	}
+	return table, res, nil
+}
+
+// ClampK applies the owner's access domain type (the fifth field of the
+// paper's user-account tuple) to a requested neighbor count: local users
+// stay on the submitting site, campus users reach at most the two
+// nearest sites, global users are unrestricted. Unknown owners are
+// treated as local.
+func (env *Environment) ClampK(owner string, k int) int {
+	acct, err := env.Sites[0].Repo.Users.Lookup(owner)
+	if err != nil {
+		return 0
+	}
+	switch acct.Domain {
+	case repository.DomainGlobal:
+		return k
+	case repository.DomainCampus:
+		if k > 2 {
+			return 2
+		}
+		return k
+	default:
+		return 0
+	}
+}
+
+// EditorServer returns an Application Editor wired to site 0's accounts
+// and a submitter that schedules (and optionally executes) submissions.
+// The submitting user's access domain bounds how many neighbor sites the
+// scheduler may use.
+func (env *Environment) EditorServer(execute bool, k int) *editor.Server {
+	users := env.Sites[0].Repo.Users
+	return editor.NewServer(users, env.Registry, func(owner string, g *afg.Graph) (any, error) {
+		table, err := env.Schedule(g, env.ClampK(owner, k))
+		if err != nil {
+			return nil, err
+		}
+		if !execute {
+			return table, nil
+		}
+		res, err := env.Engine.Execute(context.Background(), g, table)
+		if err != nil {
+			return nil, err
+		}
+		return map[string]any{
+			"table":    table,
+			"makespan": res.Makespan.String(),
+			"runs":     len(res.Runs),
+		}, nil
+	})
+}
+
+// RefreshMonitoring synchronously refreshes every site's resource DB
+// from the host models (one monitor round), for callers that do not run
+// the daemons.
+func (env *Environment) RefreshMonitoring(now time.Time) error {
+	return env.TB.RefreshRepos(now)
+}

@@ -1,0 +1,205 @@
+package vdce
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"vdce/internal/core"
+	"vdce/internal/repository"
+	"vdce/internal/tasklib"
+	"vdce/internal/testbed"
+)
+
+func newEnv(t *testing.T, cfg Config) *Environment {
+	t.Helper()
+	env, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.Close)
+	return env
+}
+
+func TestEnvironmentEndToEndInProcess(t *testing.T) {
+	env := newEnv(t, Config{
+		Testbed: testbed.Config{Sites: 2, HostsPerGroup: 3, Seed: 21, BaseLoadMax: 0.2},
+	})
+	g, err := tasklib.BuildLinearEquationSolver(32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, task := range g.Tasks {
+		task.Props.MachineType = ""
+	}
+	table, res, err := env.Run(context.Background(), g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	residual := res.Outputs[g.Exits()[0]][0].(float64)
+	if residual > 1e-7 {
+		t.Fatalf("residual %g", residual)
+	}
+}
+
+func TestEnvironmentEndToEndRPC(t *testing.T) {
+	env := newEnv(t, Config{
+		Testbed: testbed.Config{Sites: 3, HostsPerGroup: 2, Seed: 22, BaseLoadMax: 0.2},
+		UseRPC:  true,
+	})
+	if len(env.Managers) != 3 {
+		t.Fatalf("managers = %d", len(env.Managers))
+	}
+	g, err := tasklib.BuildC3IPipeline(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, res, err := env.Run(context.Background(), g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	report := res.Outputs[g.Exits()[0]][0].(string)
+	if !strings.Contains(report, "C3I THREAT REPORT") {
+		t.Fatalf("report = %q", report)
+	}
+}
+
+func TestEnvironmentDaemonsMaintainRepos(t *testing.T) {
+	env := newEnv(t, Config{
+		Testbed:       testbed.Config{Sites: 1, HostsPerGroup: 3, Seed: 23},
+		StartDaemons:  true,
+		MonitorPeriod: 5 * time.Millisecond,
+	})
+	victim := env.TB.Sites[0].Hosts[1]
+	victim.Fail()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		rec, err := env.Sites[0].Repo.Resources.Host(victim.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Status == repository.HostDown {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("daemons never marked the failed host down")
+}
+
+func TestEnvironmentEditorIntegration(t *testing.T) {
+	env := newEnv(t, Config{
+		Testbed: testbed.Config{Sites: 1, HostsPerGroup: 2, Seed: 24},
+	})
+	srv := env.EditorServer(false, 0)
+	// Authenticate against the pre-provisioned account and submit a tiny
+	// app through the same Submitter the HTTP handler uses.
+	if _, err := env.Sites[0].Repo.Users.Authenticate("user_k", "vdce"); err != nil {
+		t.Fatal(err)
+	}
+	g, err := tasklib.BuildC3IPipeline(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := srv.Submit("user_k", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil {
+		t.Fatal("no allocation table returned")
+	}
+}
+
+func TestCostFuncErrorsOnUnknownTask(t *testing.T) {
+	env := newEnv(t, Config{Testbed: testbed.Config{Sites: 1, HostsPerGroup: 1, Seed: 1}})
+	g, _ := tasklib.BuildC3IPipeline(4, 1)
+	g.Tasks[0].Name = "Unknown_Task"
+	if _, err := env.CostFunc(g); err == nil {
+		t.Fatal("unknown task cost accepted")
+	}
+	if _, err := env.SchedulerAt(99, 1); err == nil {
+		t.Fatal("bad site index accepted")
+	}
+}
+
+func TestAccessDomainClampsK(t *testing.T) {
+	env := newEnv(t, Config{Testbed: testbed.Config{Sites: 4, HostsPerGroup: 2, Seed: 27}})
+	users := env.Sites[0].Repo.Users
+	if _, err := users.AddUser("loc", "p", 0, repository.DomainLocal); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := users.AddUser("campus", "p", 0, repository.DomainCampus); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		owner string
+		k     int
+		want  int
+	}{
+		{"loc", 3, 0},
+		{"campus", 3, 2},
+		{"campus", 1, 1},
+		{"user_k", 3, 3}, // provisioned global account
+		{"ghost", 3, 0},  // unknown users stay local
+	}
+	for _, c := range cases {
+		if got := env.ClampK(c.owner, c.k); got != c.want {
+			t.Errorf("ClampK(%s, %d) = %d, want %d", c.owner, c.k, got, c.want)
+		}
+	}
+	// End to end: a local user's submission never leaves site 0.
+	srv := env.EditorServer(false, 3)
+	g, err := tasklib.BuildC3IPipeline(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := srv.Submit("loc", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := out.(*core.AllocationTable)
+	for _, e := range table.Entries {
+		if e.Site != env.Sites[0].SiteName() {
+			t.Fatalf("local-domain task placed on %s", e.Site)
+		}
+	}
+}
+
+func TestDaemonsFeedVisualization(t *testing.T) {
+	env := newEnv(t, Config{
+		Testbed:       testbed.Config{Sites: 1, HostsPerGroup: 2, Seed: 26},
+		StartDaemons:  true,
+		MonitorPeriod: 5 * time.Millisecond,
+	})
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, name := range env.Metrics.Names() {
+			if len(name) > 5 && name[:5] == "load:" && len(env.Metrics.Series(name)) > 0 {
+				return
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("no workload series reached the visualization service")
+}
+
+func TestRefreshMonitoring(t *testing.T) {
+	env := newEnv(t, Config{Testbed: testbed.Config{Sites: 1, HostsPerGroup: 2, Seed: 2}})
+	if err := env.RefreshMonitoring(time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	h := env.TB.Sites[0].Hosts[0]
+	rec, err := env.Sites[0].Repo.Resources.Host(h.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.RecentLoads) == 0 {
+		t.Fatal("refresh recorded nothing")
+	}
+}
