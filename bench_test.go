@@ -8,16 +8,19 @@
 package vdce
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
 
+	"vdce/internal/afg"
 	"vdce/internal/core"
 	"vdce/internal/experiments"
 	"vdce/internal/netmodel"
 	"vdce/internal/predict"
 	"vdce/internal/repository"
 	"vdce/internal/sim"
+	"vdce/internal/tasklib"
 	"vdce/internal/testbed"
 	"vdce/internal/workload"
 )
@@ -169,7 +172,7 @@ type benchCluster struct {
 	hosts [][]string
 }
 
-func newBenchCluster(b *testing.B, nSites, hostsPer int, seed int64) *benchCluster {
+func newBenchCluster(b testing.TB, nSites, hostsPer int, seed int64) *benchCluster {
 	b.Helper()
 	env, err := New(Config{Testbed: testbed.Config{
 		Sites: nSites, HostsPerGroup: hostsPer, Seed: seed,
@@ -190,7 +193,7 @@ func newBenchCluster(b *testing.B, nSites, hostsPer int, seed int64) *benchClust
 	return c
 }
 
-func (c *benchCluster) install(b *testing.B, w *workload.Graph) error {
+func (c *benchCluster) install(b testing.TB, w *workload.Graph) error {
 	b.Helper()
 	for i, repo := range c.repos {
 		if err := w.Install(repo, c.hosts[i]); err != nil {
@@ -274,6 +277,144 @@ func BenchmarkBlendAblation(b *testing.B) {
 			b.ReportMetric(errNs/1e6, "abs-err-ms")
 		})
 	}
+}
+
+// BenchmarkSchedulerRound isolates one full core.Scheduler round
+// (Fig. 2) on a 200-task layered workload across 4 sites — the
+// scheduling hot path of the submission pipeline. ReportAllocs feeds
+// allocs/op into the BENCH_*.json records so allocation regressions on
+// this path stay visible to future PRs.
+func BenchmarkSchedulerRound(b *testing.B) {
+	w, err := workload.Layered(workload.Params{Tasks: 200, CCR: 1, Seed: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := newBenchCluster(b, 4, 8, 6)
+	if err := env.install(b, w); err != nil {
+		b.Fatal(err)
+	}
+	cost := w.CostFunc()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched := core.NewScheduler(env.sites[0], env.remotes(), env.net, 3)
+		if _, err := sched.Schedule(w.G, cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSchedulerRoundAllocationCeiling is the allocation guardrail for
+// the scheduling hot path: one scheduler round on the benchmark
+// workload must stay under a fixed allocation budget. The ceiling has
+// generous headroom over the measured baseline (~21k allocs for 200
+// tasks on 4 sites), so it only trips on a real regression.
+func TestSchedulerRoundAllocationCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under the race detector")
+	}
+	w, err := workload.Layered(workload.Params{Tasks: 200, CCR: 1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := newBenchCluster(t, 4, 8, 6)
+	if err := env.install(t, w); err != nil {
+		t.Fatal(err)
+	}
+	cost := w.CostFunc()
+	const ceiling = 100_000
+	avg := testing.AllocsPerRun(5, func() {
+		sched := core.NewScheduler(env.sites[0], env.remotes(), env.net, 3)
+		if _, err := sched.Schedule(w.G, cost); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > ceiling {
+		t.Fatalf("scheduler round allocates %.0f allocs/run, ceiling %d — hot path regressed", avg, ceiling)
+	}
+}
+
+// BenchmarkConcurrentSubmit measures aggregate throughput of the
+// submission pipeline against the serial one-shot path on the same
+// workload: a batch of 8 small C3I applications per iteration. The
+// pipeline variant additionally reports the engine's peak application
+// concurrency, demonstrating >1 application in flight.
+func BenchmarkConcurrentSubmit(b *testing.B) {
+	const batch = 8
+	buildBatch := func(b *testing.B) []*afg.Graph {
+		b.Helper()
+		graphs := make([]*afg.Graph, batch)
+		for i := range graphs {
+			g, err := tasklibC3I(6+i%3, int64(i+1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			graphs[i] = g
+		}
+		return graphs
+	}
+	newSubmitEnv := func(b *testing.B) *Environment {
+		b.Helper()
+		env, err := New(Config{
+			Testbed: testbed.Config{Sites: 4, HostsPerGroup: 3, Seed: 41, BaseLoadMax: 0.2},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(env.Close)
+		return env
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		env := newSubmitEnv(b)
+		graphs := buildBatch(b)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, g := range graphs {
+				if _, _, err := env.Run(ctx, g, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "apps/sec")
+	})
+
+	b.Run("pipeline", func(b *testing.B) {
+		env := newSubmitEnv(b)
+		graphs := buildBatch(b)
+		ctx := context.Background()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			jobs := make([]*Job, batch)
+			for j, g := range graphs {
+				job, err := env.Submit(ctx, g, 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				jobs[j] = job
+			}
+			for _, job := range jobs {
+				if err := job.Wait(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N*batch)/b.Elapsed().Seconds(), "apps/sec")
+		b.ReportMetric(float64(env.Engine.PeakConcurrency()), "peak-apps")
+	})
+}
+
+// tasklibC3I builds a C3I pipeline with machine-type preferences
+// cleared (clearMachineTypes), so any fabricated testbed host is
+// eligible.
+func tasklibC3I(targets int, seed int64) (*afg.Graph, error) {
+	g, err := tasklib.BuildC3IPipeline(targets, seed)
+	if err != nil {
+		return nil, err
+	}
+	clearMachineTypes(g)
+	return g, nil
 }
 
 // BenchmarkAFGTopoSort exercises the structural core on a wide graph.

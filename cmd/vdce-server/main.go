@@ -1,17 +1,24 @@
 // Command vdce-server runs one VDCE site: the Site Manager RPC endpoint
 // (scheduling, monitoring, and execution-record traffic) plus the
 // Application Editor HTTP API, over a fabricated testbed site.
+// Submissions flow through the environment's concurrent pipeline, so
+// many editor clients are served simultaneously; GET /jobs reports
+// every submission's lifecycle.
 //
-//	vdce-server -hosts 8 -http 127.0.0.1:8470 -rpc 127.0.0.1:0
+//	vdce-server -hosts 8 -http 127.0.0.1:8470 -workers 4 -parallel 8
 //
 // Log in with user "user_k", password "vdce".
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -21,12 +28,32 @@ import (
 )
 
 func main() {
-	hosts := flag.Int("hosts", 8, "hosts in the site")
-	groups := flag.Int("groups", 2, "groups in the site")
-	httpAddr := flag.String("http", "127.0.0.1:8470", "Application Editor HTTP address")
-	seed := flag.Int64("seed", 1, "testbed seed")
-	execute := flag.Bool("execute", true, "execute submitted applications (not just schedule)")
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run starts the server and blocks until ctx is canceled. notify, when
+// non-nil, receives the editor's actual listen address once it is
+// serving (tests use it with ephemeral ports).
+func run(ctx context.Context, args []string, out io.Writer, notify func(addr string)) error {
+	fs := flag.NewFlagSet("vdce-server", flag.ContinueOnError)
+	hosts := fs.Int("hosts", 8, "hosts in the site")
+	groups := fs.Int("groups", 2, "groups in the site")
+	httpAddr := fs.String("http", "127.0.0.1:8470", "Application Editor HTTP address")
+	seed := fs.Int64("seed", 1, "testbed seed")
+	execute := fs.Bool("execute", true, "execute submitted applications (not just schedule)")
+	workers := fs.Int("workers", 0, "scheduler workers (0 = default)")
+	queue := fs.Int("queue", 0, "admission queue depth (0 = default)")
+	parallel := fs.Int("parallel", 0, "max concurrently executing applications (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	env, err := vdce.New(vdce.Config{
 		Testbed: testbed.Config{
@@ -36,32 +63,66 @@ func main() {
 		StartDaemons:  true,
 		DilationScale: 1,
 		LoadThreshold: 0.9,
+		Pipeline: vdce.PipelineConfig{
+			QueueDepth:        *queue,
+			SchedulerWorkers:  *workers,
+			MaxConcurrentRuns: *parallel,
+		},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer env.Close()
 
 	editorSrv := env.EditorServer(*execute, 0)
-	httpServer := &http.Server{Addr: *httpAddr, Handler: editorSrv.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/", editorSrv.Handler())
+	// Job lifecycle monitoring: every submission's state, straight off
+	// the environment's job board. Shares the editor's login model.
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if !editorSrv.Authenticated(r) {
+			w.WriteHeader(http.StatusUnauthorized)
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": "editor: not authenticated"})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"jobs":   env.Jobs(),
+			"counts": env.Board.Counts(),
+		})
+	})
+
+	lis, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		return err
+	}
+	httpServer := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
 	go func() {
-		if err := httpServer.ListenAndServe(); err != http.ErrServerClosed {
-			log.Fatal(err)
+		if err := httpServer.Serve(lis); err != http.ErrServerClosed {
+			serveErr <- err
 		}
 	}()
 
-	fmt.Printf("VDCE server for %s\n", env.TB.Sites[0].Name)
-	fmt.Printf("  site manager RPC : %s\n", env.Managers[0].Addr())
-	fmt.Printf("  application editor: http://%s (user_k / vdce)\n", *httpAddr)
-	fmt.Printf("  hosts:\n")
+	addr := lis.Addr().String()
+	if notify != nil {
+		notify(addr)
+	}
+	fmt.Fprintf(out, "VDCE server for %s\n", env.TB.Sites[0].Name)
+	fmt.Fprintf(out, "  site manager RPC : %s\n", env.Managers[0].Addr())
+	fmt.Fprintf(out, "  application editor: http://%s (user_k / vdce)\n", addr)
+	fmt.Fprintf(out, "  jobs endpoint     : http://%s/jobs\n", addr)
+	fmt.Fprintf(out, "  hosts:\n")
 	for _, h := range env.TB.Sites[0].Hosts {
-		fmt.Printf("    %-28s %s %s speed=%.2f mem=%dMB\n",
+		fmt.Fprintf(out, "    %-28s %s %s speed=%.2f mem=%dMB\n",
 			h.Name, h.Arch, h.OS, h.Speed, h.TotalMem>>20)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	<-ctx.Done()
-	fmt.Println("\nshutting down")
-	_ = httpServer.Shutdown(context.Background())
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "\nshutting down")
+	return httpServer.Shutdown(context.Background())
 }

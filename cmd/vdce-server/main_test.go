@@ -1,0 +1,153 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"vdce/internal/tasklib"
+)
+
+// startServer runs the server on an ephemeral port and returns its base
+// URL once it is serving.
+func startServer(t *testing.T, extraArgs ...string) string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	args := append([]string{"-http", "127.0.0.1:0", "-hosts", "2", "-groups", "1"}, extraArgs...)
+	var out strings.Builder
+	go func() {
+		errCh <- run(ctx, args, &out, func(addr string) { addrCh <- addr })
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case err := <-errCh:
+			if err != nil {
+				t.Errorf("server exited with %v\noutput:\n%s", err, out.String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Error("server did not shut down")
+		}
+	})
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr
+	case err := <-errCh:
+		t.Fatalf("server failed to start: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never reported its address")
+	}
+	return ""
+}
+
+func login(t *testing.T, base string) string {
+	t.Helper()
+	body, _ := json.Marshal(map[string]string{"user": "user_k", "password": "vdce"})
+	resp, err := http.Post(base+"/login", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Token string `json:"token"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Token == "" {
+		t.Fatal("login returned no token")
+	}
+	return out.Token
+}
+
+func TestServerServesSubmissionsAndJobs(t *testing.T) {
+	base := startServer(t, "-workers", "2", "-parallel", "2")
+	token := login(t, base)
+
+	g, err := tasklib.BuildC3IPipeline(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := g.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	do := func(method, path string, body []byte) map[string]any {
+		t.Helper()
+		req, err := http.NewRequest(method, base+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		if resp.StatusCode >= 300 {
+			t.Fatalf("%s %s: %d %v", method, path, resp.StatusCode, out)
+		}
+		return out
+	}
+
+	imported := do("POST", "/apps/import", data)
+	id, _ := imported["id"].(string)
+	if id == "" {
+		t.Fatalf("import failed: %v", imported)
+	}
+	result := do("POST", fmt.Sprintf("/apps/%s/submit", id), nil)
+	if result["result"] == nil {
+		t.Fatalf("submission returned no result: %v", result)
+	}
+
+	// The jobs endpoint shares the editor's login model.
+	unauth, err := http.Get(base + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unauth.Body.Close()
+	if unauth.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated /jobs = %d, want 401", unauth.StatusCode)
+	}
+
+	// Authenticated, it reflects the executed submission.
+	req, err := http.NewRequest("GET", base+"/jobs", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var jobs struct {
+		Jobs   []map[string]any `json:"jobs"`
+		Counts map[string]int   `json:"counts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&jobs); err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs.Jobs) != 1 {
+		t.Fatalf("jobs endpoint lists %d jobs, want 1: %+v", len(jobs.Jobs), jobs)
+	}
+	if jobs.Counts["done"] != 1 {
+		t.Fatalf("job counts = %v, want one done", jobs.Counts)
+	}
+}
+
+func TestServerRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run(context.Background(), []string{"-no-such-flag"}, &out, nil); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -8,9 +8,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"time"
 
 	"vdce/internal/core"
@@ -21,25 +24,38 @@ import (
 )
 
 func main() {
-	family := flag.String("family", "layered", "workload family: layered|forkjoin|gauss|fft|intree")
-	tasks := flag.Int("tasks", 30, "task count (or LES order / C3I targets)")
-	ccr := flag.Float64("ccr", 1, "communication-to-computation ratio")
-	sites := flag.Int("sites", 2, "number of sites")
-	hosts := flag.Int("hosts", 4, "hosts per site")
-	k := flag.Int("k", -1, "nearest-neighbor sites (-1 = all)")
-	policy := flag.String("policy", "vdce", "vdce|fifo|random|rrobin|minmin")
-	seed := flag.Int64("seed", 1, "seed")
-	ganttWidth := flag.Int("gantt-width", 80, "gantt chart width")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run parses args and executes the simulation, writing reports to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vdce-sim", flag.ContinueOnError)
+	family := fs.String("family", "layered", "workload family: layered|forkjoin|gauss|fft|intree")
+	tasks := fs.Int("tasks", 30, "task count (or LES order / C3I targets)")
+	ccr := fs.Float64("ccr", 1, "communication-to-computation ratio")
+	sites := fs.Int("sites", 2, "number of sites")
+	hosts := fs.Int("hosts", 4, "hosts per site")
+	k := fs.Int("k", -1, "nearest-neighbor sites (-1 = all)")
+	policy := fs.String("policy", "vdce", "vdce|fifo|random|rrobin|minmin")
+	seed := fs.Int64("seed", 1, "seed")
+	ganttWidth := fs.Int("gantt-width", 80, "gantt chart width")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
 
 	tb, err := testbed.Build(testbed.Config{
 		Sites: *sites, HostsPerGroup: *hosts, Seed: *seed, BaseLoadMax: 0.4,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := tb.RefreshRepos(time.Unix(0, 0)); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	var locals []*core.LocalSite
 	var hostNames [][]string
@@ -60,22 +76,22 @@ func main() {
 		}
 	}
 	if gen == nil {
-		log.Fatalf("unknown family %q (library apps like LES live in examples/)", *family)
+		return fmt.Errorf("unknown family %q (library apps like LES live in examples/)", *family)
 	}
 	w, err := gen(workload.Params{Tasks: *tasks, CCR: *ccr, Seed: *seed})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for i, s := range tb.Sites {
 		if err := w.Install(s.Repo, hostNames[i]); err != nil {
-			log.Fatal(err)
+			return err
 		}
 	}
 	stats, err := w.G.ComputeStats()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("workload %s: %s\n\n", w.G.Name, stats)
+	fmt.Fprintf(out, "workload %s: %s\n\n", w.G.Name, stats)
 
 	// Schedule.
 	var table *core.AllocationTable
@@ -101,19 +117,20 @@ func main() {
 	case "minmin":
 		table, err = core.ScheduleMinMin(w.G, locals, tb.Net)
 	default:
-		log.Fatalf("unknown policy %q", *policy)
+		return fmt.Errorf("unknown policy %q", *policy)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Println(table)
+	fmt.Fprintln(out, table)
 
 	// Simulate and render.
 	res, err := sim.Run(w.G, table, tb.Net)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Print(res)
-	fmt.Println()
-	fmt.Print(trace.Gantt(trace.FromSim(w.G, table, res), *ganttWidth))
+	fmt.Fprint(out, res)
+	fmt.Fprintln(out)
+	fmt.Fprint(out, trace.Gantt(trace.FromSim(w.G, table, res), *ganttWidth))
+	return nil
 }

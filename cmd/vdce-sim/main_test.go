@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunProducesScheduleReport(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-family", "layered", "-tasks", "12", "-sites", "2", "-hosts", "2", "-seed", "7"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"workload", "Resource allocation table", "makespan"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunEveryPolicy(t *testing.T) {
+	for _, policy := range []string{"vdce", "fifo", "random", "rrobin", "minmin"} {
+		t.Run(policy, func(t *testing.T) {
+			var out strings.Builder
+			err := run([]string{"-family", "fft", "-tasks", "8", "-policy", policy, "-seed", "3"}, &out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out.String(), "Resource allocation table") {
+				t.Errorf("policy %s produced no table", policy)
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-family", "no-such-family"}, &out); err == nil {
+		t.Error("unknown family accepted")
+	}
+	if err := run([]string{"-policy", "no-such-policy", "-tasks", "4"}, &out); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

@@ -1,67 +1,128 @@
 // Command vdce-submit authenticates against a VDCE server's Application
 // Editor and submits an application: either a built-in demo graph (the
 // Fig. 1 Linear Equation Solver or the C3I pipeline) or an AFG JSON
-// file.
+// file. With -count > 1 it submits that many copies concurrently,
+// exercising the server's multi-application submission pipeline.
 //
 //	vdce-submit -server http://127.0.0.1:8470 -app les -n 256
+//	vdce-submit -server http://127.0.0.1:8470 -app c3i -count 8
 //	vdce-submit -server http://127.0.0.1:8470 -file app.json
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
+	"sync"
 
 	"vdce/internal/afg"
 	"vdce/internal/tasklib"
 )
 
 func main() {
-	server := flag.String("server", "http://127.0.0.1:8470", "editor base URL")
-	user := flag.String("user", "user_k", "VDCE user")
-	pass := flag.String("pass", "vdce", "password")
-	app := flag.String("app", "les", "built-in application: les | c3i")
-	n := flag.Int("n", 256, "problem size (LES matrix order / C3I targets)")
-	file := flag.String("file", "", "submit an AFG JSON file instead of a built-in app")
-	flag.Parse()
-
-	var graph *afg.Graph
-	var err error
-	switch {
-	case *file != "":
-		data, rerr := os.ReadFile(*file)
-		if rerr != nil {
-			log.Fatal(rerr)
-		}
-		graph, err = afg.DecodeJSON(data)
-	case *app == "les":
-		graph, err = tasklib.BuildLinearEquationSolver(*n, 1)
-	case *app == "c3i":
-		graph, err = tasklib.BuildC3IPipeline(*n, 1)
-	default:
-		log.Fatalf("unknown app %q", *app)
-	}
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-
-	token := login(*server, *user, *pass)
-	id := importGraph(*server, token, graph)
-	fmt.Printf("submitted %q as %s\n", graph.Name, id)
-	result := post(*server, token, "/apps/"+id+"/submit", nil)
-	pretty, _ := json.MarshalIndent(result, "", "  ")
-	fmt.Println(string(pretty))
 }
 
-func login(base, user, pass string) string {
+// run parses args, builds the graph, and submits it -count times
+// concurrently, writing results to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("vdce-submit", flag.ContinueOnError)
+	server := fs.String("server", "http://127.0.0.1:8470", "editor base URL")
+	user := fs.String("user", "user_k", "VDCE user")
+	pass := fs.String("pass", "vdce", "password")
+	app := fs.String("app", "les", "built-in application: les | c3i")
+	n := fs.Int("n", 256, "problem size (LES matrix order / C3I targets)")
+	file := fs.String("file", "", "submit an AFG JSON file instead of a built-in app")
+	count := fs.Int("count", 1, "how many copies to submit concurrently")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		return err
+	}
+	if *count < 1 {
+		return fmt.Errorf("count must be >= 1, got %d", *count)
+	}
+
+	graph, err := buildGraph(*file, *app, *n)
+	if err != nil {
+		return err
+	}
+
+	token, err := login(*server, *user, *pass)
+	if err != nil {
+		return err
+	}
+
+	type outcome struct {
+		idx    int
+		id     string
+		result map[string]any
+		err    error
+	}
+	results := make([]outcome, *count)
+	var wg sync.WaitGroup
+	for i := 0; i < *count; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			oc := outcome{idx: i}
+			oc.id, oc.err = importGraph(*server, token, graph)
+			if oc.err == nil {
+				oc.result, oc.err = post(*server, token, "/apps/"+oc.id+"/submit", nil)
+			}
+			results[i] = oc
+		}(i)
+	}
+	wg.Wait()
+
+	var firstErr error
+	for _, oc := range results {
+		if oc.err != nil {
+			fmt.Fprintf(out, "submission %d failed: %v\n", oc.idx, oc.err)
+			if firstErr == nil {
+				firstErr = oc.err
+			}
+			continue
+		}
+		fmt.Fprintf(out, "submitted %q as %s\n", graph.Name, oc.id)
+		pretty, _ := json.MarshalIndent(oc.result, "", "  ")
+		fmt.Fprintln(out, string(pretty))
+	}
+	return firstErr
+}
+
+// buildGraph resolves the submission source: a JSON file or a built-in.
+func buildGraph(file, app string, n int) (*afg.Graph, error) {
+	switch {
+	case file != "":
+		data, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return afg.DecodeJSON(data)
+	case app == "les":
+		return tasklib.BuildLinearEquationSolver(n, 1)
+	case app == "c3i":
+		return tasklib.BuildC3IPipeline(n, 1)
+	default:
+		return nil, fmt.Errorf("unknown app %q", app)
+	}
+}
+
+func login(base, user, pass string) (string, error) {
 	body, _ := json.Marshal(map[string]string{"user": user, "password": pass})
 	resp, err := http.Post(base+"/login", "application/json", bytes.NewReader(body))
 	if err != nil {
-		log.Fatal(err)
+		return "", err
 	}
 	defer resp.Body.Close()
 	var out struct {
@@ -69,46 +130,49 @@ func login(base, user, pass string) string {
 		Error string `json:"error"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		log.Fatal(err)
+		return "", err
 	}
 	if out.Error != "" {
-		log.Fatalf("login: %s", out.Error)
+		return "", fmt.Errorf("login: %s", out.Error)
 	}
-	return out.Token
+	return out.Token, nil
 }
 
-func importGraph(base, token string, g *afg.Graph) string {
+func importGraph(base, token string, g *afg.Graph) (string, error) {
 	data, err := g.EncodeJSON()
 	if err != nil {
-		log.Fatal(err)
+		return "", err
 	}
-	out := request(base, token, "POST", "/apps/import", data)
+	out, err := request(base, token, "POST", "/apps/import", data)
+	if err != nil {
+		return "", err
+	}
 	id, ok := out["id"].(string)
 	if !ok {
-		log.Fatalf("import failed: %v", out)
+		return "", fmt.Errorf("import failed: %v", out)
 	}
-	return id
+	return id, nil
 }
 
-func post(base, token, path string, body []byte) map[string]any {
+func post(base, token, path string, body []byte) (map[string]any, error) {
 	return request(base, token, "POST", path, body)
 }
 
-func request(base, token, method, path string, body []byte) map[string]any {
+func request(base, token, method, path string, body []byte) (map[string]any, error) {
 	req, err := http.NewRequest(method, base+path, bytes.NewReader(body))
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	req.Header.Set("Authorization", "Bearer "+token)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		log.Fatal(err)
+		return nil, err
 	}
 	defer resp.Body.Close()
 	var out map[string]any
 	_ = json.NewDecoder(resp.Body).Decode(&out)
 	if resp.StatusCode >= 300 {
-		log.Fatalf("%s %s: %d %v", method, path, resp.StatusCode, out)
+		return nil, fmt.Errorf("%s %s: %d %v", method, path, resp.StatusCode, out)
 	}
-	return out
+	return out, nil
 }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vdce"
+	"vdce/internal/testbed"
+)
+
+// newEditorServer spins an in-process VDCE environment plus its editor
+// HTTP API for the client to talk to.
+func newEditorServer(t *testing.T, execute bool) *httptest.Server {
+	t.Helper()
+	env, err := vdce.New(vdce.Config{
+		Testbed: testbed.Config{Sites: 1, HostsPerGroup: 3, Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.Close)
+	srv := httptest.NewServer(env.EditorServer(execute, 0).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRunSubmitsBuiltinApp(t *testing.T) {
+	srv := newEditorServer(t, false)
+	var out strings.Builder
+	err := run([]string{"-server", srv.URL, "-app", "c3i", "-n", "6"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "submitted") {
+		t.Errorf("no submission confirmation in output:\n%s", out.String())
+	}
+}
+
+func TestRunSubmitsConcurrentCopies(t *testing.T) {
+	srv := newEditorServer(t, true)
+	var out strings.Builder
+	err := run([]string{"-server", srv.URL, "-app", "c3i", "-n", "6", "-count", "4"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if got := strings.Count(out.String(), "submitted"); got != 4 {
+		t.Errorf("confirmed %d submissions, want 4:\n%s", got, out.String())
+	}
+	// Executed submissions return their pipeline job IDs.
+	if !strings.Contains(out.String(), `"job"`) {
+		t.Errorf("executed submission reported no job ID:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-app", "no-such-app"}, &out); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run([]string{"-count", "0"}, &out); err == nil {
+		t.Error("count 0 accepted")
+	}
+	if err := run([]string{"-file", "/does/not/exist.json"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunFailsOnBadCredentials(t *testing.T) {
+	srv := newEditorServer(t, false)
+	var out strings.Builder
+	if err := run([]string{"-server", srv.URL, "-user", "ghost", "-pass", "nope", "-app", "c3i", "-n", "6"}, &out); err == nil {
+		t.Error("bad credentials accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module vdce
+
+go 1.24

@@ -9,6 +9,7 @@ package editor
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
@@ -25,10 +26,14 @@ import (
 )
 
 // Submitter receives a finished application graph (Fig. 2 step 1:
-// "Receive application flow graph from Application Editor"). It returns
-// an opaque JSON-encodable result shown to the user — typically the
-// resource allocation table.
-type Submitter func(owner string, g *afg.Graph) (any, error)
+// "Receive application flow graph from Application Editor"). ctx is the
+// submitting request's context: it bounds how long the submitter may
+// block (admission backpressure, waiting for completion) so abandoned
+// requests do not pin handler goroutines — work already admitted to a
+// pipeline still runs to completion on the environment's own lifetime.
+// It returns an opaque JSON-encodable result shown to the user —
+// typically the resource allocation table.
+type Submitter func(ctx context.Context, owner string, g *afg.Graph) (any, error)
 
 // Server is the editor backend for one VDCE site.
 type Server struct {
@@ -97,15 +102,33 @@ func newToken() string {
 	return hex.EncodeToString(b)
 }
 
+// sessionUser resolves the request's bearer token to its logged-in
+// user.
+func (s *Server) sessionUser(r *http.Request) (string, bool) {
+	tok := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+	if tok == "" {
+		return "", false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	user, ok := s.sessions[tok]
+	return user, ok
+}
+
+// Authenticated reports whether the request carries a valid session
+// token — for sibling endpoints mounted outside the editor's own mux
+// that should share its login model.
+func (s *Server) Authenticated(r *http.Request) bool {
+	_, ok := s.sessionUser(r)
+	return ok
+}
+
 // auth wraps a handler with bearer-token session checking — the paper's
 // "after user authentication, the Application Editor is loaded".
 func (s *Server) auth(h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		tok := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
-		s.mu.Lock()
-		user, ok := s.sessions[tok]
-		s.mu.Unlock()
-		if tok == "" || !ok {
+		user, ok := s.sessionUser(r)
+		if !ok {
 			writeErr(w, http.StatusUnauthorized, errors.New("editor: not authenticated"))
 			return
 		}
@@ -370,7 +393,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, user strin
 		writeErr(w, http.StatusServiceUnavailable, errors.New("editor: no scheduler attached"))
 		return
 	}
-	result, err := s.Submit(user, g)
+	result, err := s.Submit(r.Context(), user, g)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return

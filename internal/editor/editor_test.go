@@ -2,6 +2,7 @@ package editor
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -100,7 +101,7 @@ func TestLibraryMenus(t *testing.T) {
 
 func TestBuildAndSubmitApplication(t *testing.T) {
 	var submitted *afg.Graph
-	c := newEditor(t, func(owner string, g *afg.Graph) (any, error) {
+	c := newEditor(t, func(_ context.Context, owner string, g *afg.Graph) (any, error) {
 		if owner != "user_k" {
 			t.Errorf("owner = %q", owner)
 		}

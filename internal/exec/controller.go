@@ -125,8 +125,9 @@ func (ac *appController) executeWithRescheduling(ctx context.Context, in []taskl
 // the load/failure watchdog.
 func (ac *appController) attempt(ctx context.Context, in []tasklib.Value, placement *core.Placement, primary *testbed.Host, attemptNo int) ([]tasklib.Value, TaskRun, error) {
 	e := ac.app.engine
-	// One task per machine at a time: wait for every assigned host.
-	unlock := ac.app.lockHosts(placement.Hosts)
+	// One task per machine at a time — engine-wide, so tasks of
+	// different applications serialize on shared hosts.
+	unlock := e.lockHosts(placement.Hosts)
 	defer unlock()
 	tr := TaskRun{
 		Task: ac.task.ID, TaskName: ac.task.Name,

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vdce/internal/afg"
@@ -58,6 +59,58 @@ type Engine struct {
 	Console *services.Console
 	// Metrics receives the task timeline for visualization. Optional.
 	Metrics *services.Metrics
+
+	// lockMu guards hostLocks, the engine-wide table serializing task
+	// execution per machine. It is shared by every concurrent Execute so
+	// independent applications contend for the same simulated hardware.
+	lockMu    sync.Mutex
+	hostLocks map[string]*sync.Mutex
+
+	// appSeq disambiguates app IDs of same-named graphs submitted within
+	// the same nanosecond.
+	appSeq atomic.Int64
+	// inFlight/peakInFlight gauge how many applications execute
+	// simultaneously.
+	inFlight     atomic.Int32
+	peakInFlight atomic.Int32
+}
+
+// lockHosts serializes execution on the given machines: a host runs one
+// task at a time — across every application the engine is executing —
+// exactly as the schedule simulator assumes. Locks are acquired in
+// sorted order so multi-host (parallel) tasks cannot deadlock against
+// each other. The returned function releases them.
+func (e *Engine) lockHosts(hosts []string) func() {
+	sorted := append([]string(nil), hosts...)
+	sort.Strings(sorted)
+	locks := make([]*sync.Mutex, 0, len(sorted))
+	e.lockMu.Lock()
+	if e.hostLocks == nil {
+		e.hostLocks = make(map[string]*sync.Mutex)
+	}
+	for _, h := range sorted {
+		l, ok := e.hostLocks[h]
+		if !ok {
+			l = &sync.Mutex{}
+			e.hostLocks[h] = l
+		}
+		locks = append(locks, l)
+	}
+	e.lockMu.Unlock()
+	for _, l := range locks {
+		l.Lock()
+	}
+	return func() {
+		for i := len(locks) - 1; i >= 0; i-- {
+			locks[i].Unlock()
+		}
+	}
+}
+
+// PeakConcurrency reports the maximum number of applications the engine
+// has had executing at the same time since it was created.
+func (e *Engine) PeakConcurrency() int {
+	return int(e.peakInFlight.Load())
 }
 
 // TaskRun describes one attempt at executing a task.
@@ -103,7 +156,16 @@ func (e *Engine) Execute(ctx context.Context, g *afg.Graph, table *core.Allocati
 		checkPeriod = 5 * time.Millisecond
 	}
 
-	appID := fmt.Sprintf("%s-%d", g.Name, time.Now().UnixNano())
+	cur := e.inFlight.Add(1)
+	defer e.inFlight.Add(-1)
+	for {
+		peak := e.peakInFlight.Load()
+		if cur <= peak || e.peakInFlight.CompareAndSwap(peak, cur) {
+			break
+		}
+	}
+
+	appID := fmt.Sprintf("%s-%d-%d", g.Name, time.Now().UnixNano(), e.appSeq.Add(1))
 	run := &appRun{
 		engine:      e,
 		g:           g,
@@ -136,6 +198,18 @@ func (e *Engine) Execute(ctx context.Context, g *afg.Graph, table *core.Allocati
 	// Phase 2: the execution startup signal.
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// Cancellation path: controllers parked in receiveInputs block in
+	// Accept and never observe the context, so close every listener the
+	// moment the run is canceled (a task failure or a caller abort).
+	watchDone := make(chan struct{})
+	defer close(watchDone)
+	go func() {
+		select {
+		case <-runCtx.Done():
+			run.closeAll(controllers)
+		case <-watchDone:
+		}
+	}()
 	start := time.Now()
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(controllers))
@@ -183,38 +257,6 @@ type appRun struct {
 	runs        []TaskRun
 	rescheduled int64
 	addrs       sync.Map // afg.TaskID -> listen address
-	hostLocks   map[string]*sync.Mutex
-}
-
-// lockHosts serializes execution on the given machines: a host runs one
-// task at a time, exactly as the schedule simulator assumes. Locks are
-// acquired in sorted order so multi-host (parallel) tasks cannot
-// deadlock against each other. The returned function releases them.
-func (r *appRun) lockHosts(hosts []string) func() {
-	sorted := append([]string(nil), hosts...)
-	sort.Strings(sorted)
-	locks := make([]*sync.Mutex, 0, len(sorted))
-	r.mu.Lock()
-	if r.hostLocks == nil {
-		r.hostLocks = make(map[string]*sync.Mutex)
-	}
-	for _, h := range sorted {
-		l, ok := r.hostLocks[h]
-		if !ok {
-			l = &sync.Mutex{}
-			r.hostLocks[h] = l
-		}
-		locks = append(locks, l)
-	}
-	r.mu.Unlock()
-	for _, l := range locks {
-		l.Lock()
-	}
-	return func() {
-		for i := len(locks) - 1; i >= 0; i-- {
-			locks[i].Unlock()
-		}
-	}
 }
 
 func (r *appRun) placement(id afg.TaskID) *core.Placement {

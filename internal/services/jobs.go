@@ -1,0 +1,131 @@
+package services
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Job lifecycle states, in submission order. The pipeline moves every
+// application through queued -> scheduling -> running -> done|failed.
+const (
+	JobStateQueued     = "queued"
+	JobStateScheduling = "scheduling"
+	JobStateRunning    = "running"
+	JobStateDone       = "done"
+	JobStateFailed     = "failed"
+)
+
+// JobStatus is a snapshot of one submitted application's lifecycle,
+// published by the submission pipeline for monitoring tools.
+type JobStatus struct {
+	ID          string    `json:"id"`
+	App         string    `json:"app"`
+	Owner       string    `json:"owner,omitempty"`
+	State       string    `json:"state"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	Error       string    `json:"error,omitempty"`
+}
+
+// Terminal reports whether the status will never change again.
+func (s JobStatus) Terminal() bool {
+	return s.State == JobStateDone || s.State == JobStateFailed
+}
+
+// JobBoard is the monitoring view of the submission pipeline: the
+// current status of every job plus per-state counters. It is safe for
+// concurrent use by the pipeline workers and monitoring readers.
+type JobBoard struct {
+	mu    sync.Mutex
+	order []string
+	jobs  map[string]JobStatus
+}
+
+// NewJobBoard returns an empty board.
+func NewJobBoard() *JobBoard {
+	return &JobBoard{jobs: make(map[string]JobStatus)}
+}
+
+// Update records the latest status of a job, inserting it on first sight.
+func (b *JobBoard) Update(s JobStatus) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.jobs[s.ID]; !ok {
+		b.order = append(b.order, s.ID)
+	}
+	b.jobs[s.ID] = s
+}
+
+// Delete removes a job from the board (retention eviction). Unknown
+// IDs are a no-op.
+func (b *JobBoard) Delete(id string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.jobs[id]; !ok {
+		return
+	}
+	delete(b.jobs, id)
+	for i, x := range b.order {
+		if x == id {
+			b.order = append(b.order[:i], b.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Get returns the last recorded status of one job.
+func (b *JobBoard) Get(id string) (JobStatus, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.jobs[id]
+	return s, ok
+}
+
+// List returns every job status in submission order.
+func (b *JobBoard) List() []JobStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]JobStatus, 0, len(b.order))
+	for _, id := range b.order {
+		out = append(out, b.jobs[id])
+	}
+	return out
+}
+
+// Counts returns how many jobs sit in each state, keyed by state name.
+func (b *JobBoard) Counts() map[string]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int)
+	for _, s := range b.jobs {
+		out[s.State]++
+	}
+	return out
+}
+
+// InFlight returns how many jobs have been admitted but not finished.
+func (b *JobBoard) InFlight() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, s := range b.jobs {
+		if !s.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// States lists the state names present on the board, sorted — a
+// convenience for monitoring output.
+func (b *JobBoard) States() []string {
+	counts := b.Counts()
+	out := make([]string, 0, len(counts))
+	for s := range counts {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,71 @@
+package services
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJobBoardLifecycle(t *testing.T) {
+	b := NewJobBoard()
+	now := time.Now()
+	b.Update(JobStatus{ID: "job-1", App: "les", State: JobStateQueued, SubmittedAt: now})
+	b.Update(JobStatus{ID: "job-2", App: "c3i", State: JobStateQueued, SubmittedAt: now})
+	if got := b.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+
+	b.Update(JobStatus{ID: "job-1", App: "les", State: JobStateRunning, SubmittedAt: now, StartedAt: now})
+	b.Update(JobStatus{ID: "job-1", App: "les", State: JobStateDone, SubmittedAt: now, StartedAt: now, FinishedAt: now})
+	b.Update(JobStatus{ID: "job-2", App: "c3i", State: JobStateFailed, Error: "no eligible host"})
+
+	if got := b.InFlight(); got != 0 {
+		t.Fatalf("InFlight after completion = %d, want 0", got)
+	}
+	counts := b.Counts()
+	if counts[JobStateDone] != 1 || counts[JobStateFailed] != 1 {
+		t.Fatalf("Counts = %v", counts)
+	}
+	if got := b.States(); len(got) != 2 || got[0] != JobStateDone || got[1] != JobStateFailed {
+		t.Fatalf("States = %v", got)
+	}
+
+	s, ok := b.Get("job-2")
+	if !ok || s.Error != "no eligible host" || !s.Terminal() {
+		t.Fatalf("Get(job-2) = %+v, %v", s, ok)
+	}
+	if _, ok := b.Get("job-404"); ok {
+		t.Fatal("Get of unknown job succeeded")
+	}
+
+	list := b.List()
+	if len(list) != 2 || list[0].ID != "job-1" || list[1].ID != "job-2" {
+		t.Fatalf("List out of submission order: %+v", list)
+	}
+}
+
+func TestJobBoardConcurrentUpdates(t *testing.T) {
+	b := NewJobBoard()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("job-%d-%d", w, i)
+				b.Update(JobStatus{ID: id, State: JobStateQueued})
+				b.Update(JobStatus{ID: id, State: JobStateDone})
+				b.Get(id)
+				b.InFlight()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := len(b.List()); got != 8*50 {
+		t.Fatalf("List = %d entries, want %d", got, 8*50)
+	}
+	if got := b.Counts()[JobStateDone]; got != 8*50 {
+		t.Fatalf("done count = %d, want %d", got, 8*50)
+	}
+}

@@ -1,0 +1,556 @@
+package vdce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"vdce/internal/afg"
+	"vdce/internal/core"
+	"vdce/internal/exec"
+	"vdce/internal/services"
+)
+
+// PipelineConfig sizes the concurrent submission pipeline. Zero fields
+// take the listed defaults.
+type PipelineConfig struct {
+	// QueueDepth bounds the admission queue; Submit blocks (up to its
+	// context) while the queue is full. Default 64.
+	QueueDepth int
+	// SchedulerWorkers is how many scheduler workers run core.Scheduler
+	// rounds concurrently. Each job carries a home site — round-robin
+	// across sites for Submit, the submitting site for SubmitOwned — so
+	// concurrent rounds spread across sites regardless of worker count.
+	// Default 4.
+	SchedulerWorkers int
+	// MaxConcurrentRuns bounds how many applications the execution engine
+	// runs simultaneously. Default 2 * SchedulerWorkers.
+	MaxConcurrentRuns int
+	// MaxRetainedJobs bounds how many jobs the pipeline and the job
+	// board remember; the oldest *terminal* jobs are evicted first, so a
+	// long-running server does not grow without bound. Default 1024.
+	MaxRetainedJobs int
+}
+
+func (c *PipelineConfig) fillDefaults() {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.SchedulerWorkers <= 0 {
+		c.SchedulerWorkers = 4
+	}
+	if c.MaxConcurrentRuns <= 0 {
+		c.MaxConcurrentRuns = 2 * c.SchedulerWorkers
+	}
+	if c.MaxRetainedJobs <= 0 {
+		c.MaxRetainedJobs = 1024
+	}
+}
+
+// JobState is a job's position in the submission lifecycle.
+type JobState int32
+
+const (
+	// JobQueued: admitted, waiting for a scheduler worker.
+	JobQueued JobState = iota
+	// JobScheduling: a scheduler worker is running the site-scheduler
+	// round (Fig. 2) for the job.
+	JobScheduling
+	// JobRunning: the execution engine is running the task graph.
+	JobRunning
+	// JobDone: every task completed; Result is available.
+	JobDone
+	// JobFailed: scheduling or execution failed permanently; Err is set.
+	JobFailed
+)
+
+// String returns the services-layer state name.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return services.JobStateQueued
+	case JobScheduling:
+		return services.JobStateScheduling
+	case JobRunning:
+		return services.JobStateRunning
+	case JobDone:
+		return services.JobStateDone
+	case JobFailed:
+		return services.JobStateFailed
+	default:
+		return fmt.Sprintf("JobState(%d)", int32(s))
+	}
+}
+
+// Job is one application moving through the submission pipeline.
+type Job struct {
+	// ID is the pipeline-assigned identifier ("job-<n>").
+	ID string
+	// Owner is the submitting user (may be empty for direct submissions).
+	Owner string
+	// Graph is the application flow graph being scheduled and executed.
+	Graph *afg.Graph
+	// K is the neighbor-site count used for the job's scheduling round.
+	K int
+
+	// home is the site index the scheduling round runs from: the
+	// submitting site for owned jobs (access-domain clamps are relative
+	// to it), round-robin across sites for anonymous submissions.
+	home  int
+	board *services.JobBoard
+	done  chan struct{}
+
+	mu        sync.Mutex
+	state     JobState
+	table     *core.AllocationTable
+	result    *exec.Result
+	err       error
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Table returns the resource allocation table once scheduling finished,
+// else nil.
+func (j *Job) Table() *core.AllocationTable {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.table
+}
+
+// Result returns the execution result once the job is done, else nil.
+func (j *Job) Result() *exec.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Err returns the terminal error of a failed job, else nil.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job reaches a terminal state or ctx ends. It
+// returns the job's terminal error (nil when the job succeeded).
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-j.done:
+		return j.Err()
+	}
+}
+
+// Status snapshots the job for the monitoring board.
+func (j *Job) Status() services.JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	s := services.JobStatus{
+		ID:          j.ID,
+		App:         j.Graph.Name,
+		Owner:       j.Owner,
+		State:       j.state.String(),
+		SubmittedAt: j.submitted,
+		StartedAt:   j.started,
+		FinishedAt:  j.finished,
+	}
+	if j.err != nil {
+		s.Error = j.err.Error()
+	}
+	return s
+}
+
+// transition moves the job to a non-terminal state and publishes it.
+func (j *Job) transition(s JobState) {
+	j.mu.Lock()
+	j.state = s
+	if s == JobRunning && j.started.IsZero() {
+		j.started = time.Now()
+	}
+	j.mu.Unlock()
+	j.publish()
+}
+
+// setTable records the scheduling artifact.
+func (j *Job) setTable(t *core.AllocationTable) {
+	j.mu.Lock()
+	j.table = t
+	j.mu.Unlock()
+}
+
+// complete marks the job done with its execution result.
+func (j *Job) complete(res *exec.Result) {
+	j.mu.Lock()
+	j.state = JobDone
+	j.result = res
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.publish()
+	close(j.done)
+}
+
+// fail marks the job failed. It is safe to call at most once.
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	j.state = JobFailed
+	j.err = err
+	j.finished = time.Now()
+	j.mu.Unlock()
+	j.publish()
+	close(j.done)
+}
+
+func (j *Job) publish() {
+	if j.board != nil {
+		j.board.Update(j.Status())
+	}
+}
+
+// Pipeline errors.
+var (
+	// ErrPipelineClosed is returned by Submit after the environment shut
+	// down.
+	ErrPipelineClosed = errors.New("vdce: submission pipeline closed")
+)
+
+// pipeline is the multi-tenant submission machinery behind
+// Environment.Submit: a bounded admission queue, a pool of scheduler
+// workers sharded across home sites, and a bounded concurrent dispatch
+// path into the shared execution engine.
+type pipeline struct {
+	env    *Environment
+	cfg    PipelineConfig
+	ctx    context.Context
+	queue  chan *Job
+	runSem chan struct{}
+	start  time.Time
+
+	workerWG sync.WaitGroup // scheduler workers
+
+	// svc caches each home site's scheduling services (local + remotes,
+	// dialed over RPC when Site Managers run). Dial failures are not
+	// cached, so a transient failure only affects jobs scheduled while
+	// it persists.
+	svcMu sync.Mutex
+	svc   map[int]*siteSvc
+
+	mu       sync.Mutex
+	nextID   int
+	nextHome int
+	jobs     []*Job // every retained job, in submission order
+	closed   bool
+}
+
+// siteSvc is one home site's resolved scheduling services.
+type siteSvc struct {
+	local   core.SiteService
+	remotes []core.SiteService
+}
+
+// startPipeline launches the worker pool. ctx is the environment's
+// lifetime context; cancellation stops the workers and fails queued and
+// running jobs.
+func startPipeline(ctx context.Context, env *Environment, cfg PipelineConfig) *pipeline {
+	cfg.fillDefaults()
+	p := &pipeline{
+		env:    env,
+		cfg:    cfg,
+		ctx:    ctx,
+		queue:  make(chan *Job, cfg.QueueDepth),
+		runSem: make(chan struct{}, cfg.MaxConcurrentRuns),
+		start:  time.Now(),
+		svc:    make(map[int]*siteSvc),
+	}
+	for w := 0; w < cfg.SchedulerWorkers; w++ {
+		p.workerWG.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// submit admits a job into the queue, blocking while it is full. home
+// is the site index the scheduling round runs from; home < 0 picks
+// sites round-robin (anonymous load spreading).
+func (p *pipeline) submit(ctx context.Context, owner string, g *afg.Graph, k, home int) (*Job, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if home >= len(p.env.Sites) {
+		return nil, fmt.Errorf("vdce: no site %d", home)
+	}
+	job := &Job{
+		Owner:     owner,
+		Graph:     g,
+		K:         k,
+		board:     p.env.Board,
+		done:      make(chan struct{}),
+		state:     JobQueued,
+		submitted: time.Now(),
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPipelineClosed
+	}
+	if home < 0 {
+		home = p.nextHome
+		p.nextHome = (p.nextHome + 1) % len(p.env.Sites)
+	}
+	job.home = home
+	p.nextID++
+	job.ID = fmt.Sprintf("job-%d", p.nextID)
+	p.jobs = append(p.jobs, job)
+	p.mu.Unlock()
+	p.pruneRetained()
+	job.publish()
+	p.gauge()
+	select {
+	case p.queue <- job:
+		return job, nil
+	case <-ctx.Done():
+		job.fail(ctx.Err())
+		return nil, ctx.Err()
+	case <-p.ctx.Done():
+		job.fail(ErrPipelineClosed)
+		return nil, ErrPipelineClosed
+	}
+}
+
+// services resolves the scheduling services for home site i, caching
+// successes. Concurrent rounds from different home sites share nothing
+// but the internally locked repositories, so rounds on disjoint sites
+// proceed in parallel.
+func (p *pipeline) services(home int) (*siteSvc, error) {
+	p.svcMu.Lock()
+	if s, ok := p.svc[home]; ok {
+		p.svcMu.Unlock()
+		return s, nil
+	}
+	p.svcMu.Unlock()
+	// Dial outside the lock so one slow site's dial never stalls rounds
+	// for sites whose services are already cached. Two workers may race
+	// to dial the same site; the loser's clients stay registered with
+	// the environment and are released on Close.
+	local, remotes, err := p.env.siteServices(home)
+	if err != nil {
+		return nil, err
+	}
+	s := &siteSvc{local: local, remotes: remotes}
+	p.svcMu.Lock()
+	if cached, ok := p.svc[home]; ok {
+		s = cached
+	} else {
+		p.svc[home] = s
+	}
+	p.svcMu.Unlock()
+	return s, nil
+}
+
+// worker pulls admitted jobs and runs their scheduling rounds, each
+// from the job's home site.
+func (p *pipeline) worker() {
+	defer p.workerWG.Done()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case job := <-p.queue:
+			p.process(job)
+		}
+	}
+}
+
+// process runs one job's scheduling round and dispatches its execution.
+// The scheduling phase completes on the worker; execution is handed to
+// a goroutine gated by the run semaphore so the worker can keep
+// scheduling while earlier jobs still execute.
+func (p *pipeline) process(job *Job) {
+	job.transition(JobScheduling)
+	p.gauge()
+	svc, err := p.services(job.home)
+	if err != nil {
+		job.fail(fmt.Errorf("vdce: scheduling services for site %d: %w", job.home, err))
+		p.gauge()
+		return
+	}
+	sched := core.NewScheduler(svc.local, svc.remotes, p.env.Net, job.K)
+	cost, err := p.env.CostFunc(job.Graph)
+	if err != nil {
+		job.fail(err)
+		p.gauge()
+		return
+	}
+	table, err := sched.Schedule(job.Graph, cost)
+	if err != nil {
+		job.fail(err)
+		p.gauge()
+		return
+	}
+	job.setTable(table)
+
+	// Dispatch: the worker waits for an execution slot before handing
+	// the job to its execution goroutine. This is deliberate
+	// backpressure — with the engine saturated, workers park here, the
+	// admission queue fills, and Submit blocks — so the total number of
+	// admitted-but-unfinished jobs stays bounded by QueueDepth +
+	// SchedulerWorkers + MaxConcurrentRuns. A job waiting for a slot
+	// remains in the scheduling state (it is still in a worker's hands).
+	select {
+	case p.runSem <- struct{}{}:
+	case <-p.ctx.Done():
+		job.fail(ErrPipelineClosed)
+		p.gauge()
+		return
+	}
+	go func() {
+		defer func() { <-p.runSem }()
+		job.transition(JobRunning)
+		p.gauge()
+		res, err := p.env.Engine.Execute(p.ctx, job.Graph, table)
+		if err != nil {
+			job.fail(err)
+		} else {
+			job.complete(res)
+		}
+		p.gauge()
+	}()
+}
+
+// gauge mirrors the in-flight job count into the visualization service,
+// the same channel the workload series use.
+func (p *pipeline) gauge() {
+	if p.env.Metrics != nil && p.env.Board != nil {
+		p.env.Metrics.Add("jobs:in-flight", time.Since(p.start), float64(p.env.Board.InFlight()))
+	}
+}
+
+// stop fails every queued job and waits for in-flight work to settle.
+// The environment context must already be canceled.
+func (p *pipeline) stop() {
+	// Refuse new admissions first: any job registered before this point
+	// is visible to allSettled below, so the drain loop will fail it.
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.workerWG.Wait()
+	// Workers are gone; anything left in the queue will never be
+	// scheduled. A submitter racing with shutdown may still deliver into
+	// the queue after a drain pass, so keep draining until every admitted
+	// job has reached a terminal state.
+	for {
+		for {
+			select {
+			case job := <-p.queue:
+				job.fail(ErrPipelineClosed)
+				continue
+			default:
+			}
+			break
+		}
+		if p.allSettled() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// pruneRetained evicts the oldest terminal jobs beyond the retention
+// cap, from both the pipeline's registry and the job board, so a
+// long-running server does not accumulate finished jobs forever.
+// In-flight jobs are never evicted.
+func (p *pipeline) pruneRetained() {
+	var evicted []string
+	p.mu.Lock()
+	over := len(p.jobs) - p.cfg.MaxRetainedJobs
+	if over > 0 {
+		kept := make([]*Job, 0, len(p.jobs))
+		for _, j := range p.jobs {
+			if over > 0 {
+				select {
+				case <-j.done:
+					evicted = append(evicted, j.ID)
+					over--
+					continue
+				default:
+				}
+			}
+			kept = append(kept, j)
+		}
+		p.jobs = kept
+	}
+	p.mu.Unlock()
+	for _, id := range evicted {
+		p.env.Board.Delete(id)
+	}
+}
+
+// allSettled reports whether every admitted job is terminal.
+func (p *pipeline) allSettled() bool {
+	p.mu.Lock()
+	jobs := append([]*Job(nil), p.jobs...)
+	p.mu.Unlock()
+	for _, j := range jobs {
+		select {
+		case <-j.done:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Submit admits an application into the environment's concurrent
+// submission pipeline and returns its Job handle immediately. The job
+// is scheduled by the worker pool — home sites rotate round-robin so
+// concurrent rounds shard across sites — and executed on the shared
+// testbed; use Job.Wait or Job.Done to observe completion. Submit
+// blocks only while the bounded admission queue is full (backpressure),
+// honoring ctx.
+func (env *Environment) Submit(ctx context.Context, g *afg.Graph, k int) (*Job, error) {
+	return env.pipe.submit(ctx, "", g, k, -1)
+}
+
+// SubmitOwned is Submit for a named user at the submitting site
+// (site 0, where the accounts live): the owner's access domain clamps
+// the neighbor-site count exactly as in the one-shot path, so local
+// users stay on the submitting site and campus users reach at most its
+// two nearest neighbors.
+func (env *Environment) SubmitOwned(ctx context.Context, owner string, g *afg.Graph, k int) (*Job, error) {
+	return env.pipe.submit(ctx, owner, g, env.ClampK(owner, k), 0)
+}
+
+// Jobs returns the status of every submitted job in submission order.
+func (env *Environment) Jobs() []services.JobStatus {
+	return env.Board.List()
+}
+
+// Drain blocks until every job admitted so far has reached a terminal
+// state, or ctx ends. Jobs submitted after Drain starts are not waited
+// for.
+func (env *Environment) Drain(ctx context.Context) error {
+	env.pipe.mu.Lock()
+	jobs := append([]*Job(nil), env.pipe.jobs...)
+	env.pipe.mu.Unlock()
+	for _, j := range jobs {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-j.done:
+		}
+	}
+	return nil
+}

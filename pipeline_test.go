@@ -1,0 +1,272 @@
+package vdce
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"vdce/internal/afg"
+	"vdce/internal/repository"
+	"vdce/internal/services"
+	"vdce/internal/tasklib"
+	"vdce/internal/testbed"
+)
+
+// soakGraph builds the i-th application of a mixed workload: alternating
+// Linear Equation Solver and C3I pipeline instances of varying sizes.
+func soakGraph(t testing.TB, i int) *afg.Graph {
+	t.Helper()
+	var g *afg.Graph
+	var err error
+	if i%2 == 0 {
+		g, err = tasklib.BuildLinearEquationSolver(16+8*(i%3), int64(i+1))
+	} else {
+		g, err = tasklib.BuildC3IPipeline(6+2*(i%3), int64(i+1))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	clearMachineTypes(g)
+	g.Name = fmt.Sprintf("%s#%d", g.Name, i)
+	return g
+}
+
+// clearMachineTypes drops the builders' machine-type preferences: the
+// fabricated testbed mixes machine types arbitrarily, so every host
+// should be eligible.
+func clearMachineTypes(g *afg.Graph) {
+	for _, task := range g.Tasks {
+		task.Props.MachineType = ""
+	}
+}
+
+// TestConcurrentSubmissionSoak drives 32 concurrent applications through
+// Environment.Submit on a multi-site testbed and checks that every job
+// completes, the lifecycle board agrees, and the engine really had more
+// than one application in flight.
+func TestConcurrentSubmissionSoak(t *testing.T) {
+	const jobs = 32
+	env := newEnv(t, Config{
+		Testbed: testbed.Config{Sites: 4, HostsPerGroup: 3, Seed: 31, BaseLoadMax: 0.2},
+	})
+	ctx := context.Background()
+
+	handles := make([]*Job, jobs)
+	errs := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		g := soakGraph(t, i)
+		job, err := env.Submit(ctx, g, 2)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		handles[i] = job
+		go func() { errs <- job.Wait(ctx) }()
+	}
+
+	waitCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	if err := env.Drain(waitCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for i := 0; i < jobs; i++ {
+		if err := <-errs; err != nil {
+			t.Errorf("job failed: %v", err)
+		}
+	}
+
+	seen := make(map[string]bool, jobs)
+	for i, job := range handles {
+		if got := job.State(); got != JobDone {
+			t.Fatalf("job %d state = %v, err = %v", i, got, job.Err())
+		}
+		if seen[job.ID] {
+			t.Fatalf("duplicate job ID %s", job.ID)
+		}
+		seen[job.ID] = true
+		table, res := job.Table(), job.Result()
+		if table == nil || res == nil {
+			t.Fatalf("job %d missing artifacts", i)
+		}
+		if err := table.Validate(job.Graph); err != nil {
+			t.Errorf("job %d table: %v", i, err)
+		}
+		if len(res.Runs) < len(job.Graph.Tasks) {
+			t.Errorf("job %d recorded %d runs for %d tasks", i, len(res.Runs), len(job.Graph.Tasks))
+		}
+		st := job.Status()
+		if st.StartedAt.Before(st.SubmittedAt) || st.FinishedAt.Before(st.StartedAt) {
+			t.Errorf("job %d timestamps out of order: %+v", i, st)
+		}
+	}
+
+	counts := env.Board.Counts()
+	if counts[services.JobStateDone] != jobs {
+		t.Fatalf("board counts = %v, want %d done", counts, jobs)
+	}
+	if inFlight := env.Board.InFlight(); inFlight != 0 {
+		t.Fatalf("board still reports %d jobs in flight", inFlight)
+	}
+	if got := len(env.Jobs()); got != jobs {
+		t.Fatalf("Jobs() = %d entries, want %d", got, jobs)
+	}
+	if peak := env.Engine.PeakConcurrency(); peak < 2 {
+		t.Errorf("engine peak concurrency = %d, want > 1", peak)
+	}
+	if len(env.Metrics.Series("jobs:in-flight")) == 0 {
+		t.Error("pipeline published no in-flight gauge samples")
+	}
+}
+
+// TestConcurrentSubmissionOverRPC runs a smaller concurrent batch with
+// Site Manager RPC servers between the scheduler workers and the sites.
+func TestConcurrentSubmissionOverRPC(t *testing.T) {
+	const jobs = 8
+	env := newEnv(t, Config{
+		Testbed:  testbed.Config{Sites: 3, HostsPerGroup: 2, Seed: 32, BaseLoadMax: 0.2},
+		UseRPC:   true,
+		Pipeline: PipelineConfig{SchedulerWorkers: 3},
+	})
+	ctx := context.Background()
+	for i := 0; i < jobs; i++ {
+		if _, err := env.Submit(ctx, soakGraph(t, i), 2); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, time.Minute)
+	defer cancel()
+	if err := env.Drain(waitCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, st := range env.Jobs() {
+		if st.State != services.JobStateDone {
+			t.Fatalf("job %s ended %s (%s)", st.ID, st.State, st.Error)
+		}
+	}
+}
+
+// TestSubmitOwnedRespectsAccessDomain checks that a local-domain user's
+// pipelined submission never leaves the home sites.
+func TestSubmitOwnedRespectsAccessDomain(t *testing.T) {
+	env := newEnv(t, Config{
+		Testbed: testbed.Config{Sites: 3, HostsPerGroup: 2, Seed: 33},
+	})
+	users := env.Sites[0].Repo.Users
+	if _, err := users.AddUser("loc", "p", 0, repository.DomainLocal); err != nil {
+		t.Fatal(err)
+	}
+	g := soakGraph(t, 1)
+	job, err := env.SubmitOwned(context.Background(), "loc", g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// A local-domain user's tasks must all stay on the submitting site,
+	// exactly as in the one-shot path.
+	home := env.Sites[0].SiteName()
+	for _, e := range job.Table().Entries {
+		if e.Site != home {
+			t.Fatalf("local-domain task placed on %s, want %s", e.Site, home)
+		}
+	}
+}
+
+// TestPipelineRetentionBound verifies that terminal jobs are evicted
+// once the retention cap is exceeded, so long-running servers do not
+// accumulate finished jobs forever.
+func TestPipelineRetentionBound(t *testing.T) {
+	env := newEnv(t, Config{
+		Testbed:  testbed.Config{Sites: 1, HostsPerGroup: 2, Seed: 37},
+		Pipeline: PipelineConfig{MaxRetainedJobs: 4},
+	})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		job, err := env.Submit(ctx, soakGraph(t, 1), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := job.Wait(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Eviction happens at admission time, so at most cap+1 jobs remain.
+	if got := len(env.Jobs()); got > 5 {
+		t.Fatalf("board retains %d jobs, cap is 4", got)
+	}
+	// The newest job must still be present.
+	if _, ok := env.Board.Get("job-10"); !ok {
+		t.Fatal("newest job evicted")
+	}
+	if _, ok := env.Board.Get("job-1"); ok {
+		t.Fatal("oldest terminal job not evicted")
+	}
+}
+
+// TestSubmitRejectsInvalidGraph verifies admission-time validation.
+func TestSubmitRejectsInvalidGraph(t *testing.T) {
+	env := newEnv(t, Config{Testbed: testbed.Config{Sites: 1, HostsPerGroup: 2, Seed: 34}})
+	if _, err := env.Submit(context.Background(), afg.NewGraph("empty"), 0); err == nil {
+		t.Fatal("empty graph admitted")
+	}
+	if got := len(env.Jobs()); got != 0 {
+		t.Fatalf("invalid submission reached the board: %d entries", got)
+	}
+}
+
+// TestSubmitAfterCloseFails verifies shutdown semantics: submissions
+// after Close are rejected and queued jobs fail with ErrPipelineClosed.
+func TestSubmitAfterCloseFails(t *testing.T) {
+	env, err := New(Config{Testbed: testbed.Config{Sites: 1, HostsPerGroup: 2, Seed: 35}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Close()
+	if _, err := env.Submit(context.Background(), soakGraph(t, 0), 0); err != ErrPipelineClosed {
+		t.Fatalf("Submit after Close = %v, want ErrPipelineClosed", err)
+	}
+}
+
+// TestSubmitHonorsCallerContext verifies that a canceled admission
+// context aborts Submit even when the queue is saturated.
+func TestSubmitHonorsCallerContext(t *testing.T) {
+	env := newEnv(t, Config{
+		Testbed: testbed.Config{Sites: 1, HostsPerGroup: 2, Seed: 36},
+		// One worker, minimal queue, single-run dispatch: easy to fill.
+		Pipeline: PipelineConfig{QueueDepth: 1, SchedulerWorkers: 1, MaxConcurrentRuns: 1},
+	})
+	// Suspend the console so running jobs park and the queue backs up.
+	env.Console.Suspend()
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		canceled, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+		defer cancel()
+		if _, err := env.Submit(canceled, soakGraph(t, i), 0); err != nil {
+			// The queue filled and the context expired: the expected path.
+			if canceled.Err() == nil {
+				t.Fatalf("submit %d failed before ctx expiry: %v", i, err)
+			}
+			env.Console.Resume()
+			return
+		}
+	}
+	env.Console.Resume()
+	t.Fatal("queue never backpressured with a suspended console")
+}
+
+// TestJobStateStrings pins the services-layer names the board publishes.
+func TestJobStateStrings(t *testing.T) {
+	cases := map[JobState]string{
+		JobQueued:     services.JobStateQueued,
+		JobScheduling: services.JobStateScheduling,
+		JobRunning:    services.JobStateRunning,
+		JobDone:       services.JobStateDone,
+		JobFailed:     services.JobStateFailed,
+	}
+	for state, want := range cases {
+		if got := state.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", state, got, want)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package vdce
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation guardrails skip under it because instrumentation changes
+// allocation counts.
+const raceEnabled = true

@@ -4,6 +4,21 @@
 // the execution engine, and the Application Editor into one Environment
 // that can build, schedule, and execute applications end to end.
 //
+// The Environment is multi-tenant: alongside the one-shot Run helper it
+// runs a concurrent submission pipeline. Submit (and SubmitOwned, which
+// applies the owner's access domain) admits an application flow graph
+// into a bounded queue and returns a *Job handle immediately; a pool of
+// scheduler workers runs core.Scheduler rounds concurrently — each job
+// scheduled from its home site (round-robin for Submit, the submitting
+// site for SubmitOwned), so rounds spread across sites —
+// and a bounded dispatch path executes independent jobs' task graphs
+// simultaneously on the shared testbed (one task per machine at a time,
+// enforced engine-wide). Jobs move through queued -> scheduling ->
+// running -> done|failed; observe one job with Job.Wait/Job.Done, all
+// jobs with Drain, and the fleet's lifecycle through the Board
+// (services.JobBoard) or Jobs. PipelineConfig in Config sizes the queue,
+// the worker pool, and the execution concurrency.
+//
 // Reproduces Topcuoglu & Hariri, "A Global Computing Environment for
 // Networked Resources", ICPP 1997.
 package vdce
@@ -12,6 +27,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"vdce/internal/afg"
@@ -46,6 +62,9 @@ type Config struct {
 	// cadence is MonitorPeriod.
 	StartDaemons  bool
 	MonitorPeriod time.Duration
+	// Pipeline sizes the concurrent submission pipeline behind Submit.
+	// The zero value takes the PipelineConfig defaults.
+	Pipeline PipelineConfig
 }
 
 // Environment is a fully wired VDCE instance.
@@ -59,9 +78,13 @@ type Environment struct {
 	Engine   *exec.Engine
 	Console  *services.Console
 	Metrics  *services.Metrics
+	// Board tracks every submitted job's lifecycle for monitoring.
+	Board *services.JobBoard
 
+	mu            sync.Mutex // guards remoteClients
 	remoteClients []*control.RemoteSite
 	cancel        context.CancelFunc
+	pipe          *pipeline
 }
 
 // New builds and starts an Environment.
@@ -76,6 +99,7 @@ func New(cfg Config) (*Environment, error) {
 		Registry: tasklib.Default(),
 		Console:  services.NewConsole(),
 		Metrics:  services.NewMetrics(),
+		Board:    services.NewJobBoard(),
 	}
 	// Install the task catalog and a default account at every site.
 	for _, site := range tb.Sites {
@@ -150,6 +174,7 @@ func New(cfg Config) (*Environment, error) {
 			}
 		}
 	}
+	env.pipe = startPipeline(ctx, env, cfg.Pipeline)
 	return env, nil
 }
 
@@ -199,12 +224,21 @@ func (d directReporter) ApplyRecovery(n protocol.RecoveryNotice) error {
 	return d.repo.Resources.SetStatus(n.Host, repository.HostUp)
 }
 
-// Close stops daemons, RPC servers, and client connections.
+// Close stops the submission pipeline, daemons, RPC servers, and client
+// connections. Queued jobs fail with ErrPipelineClosed; running jobs are
+// canceled.
 func (env *Environment) Close() {
 	if env.cancel != nil {
 		env.cancel()
 	}
-	for _, rc := range env.remoteClients {
+	if env.pipe != nil {
+		env.pipe.stop()
+	}
+	env.mu.Lock()
+	clients := env.remoteClients
+	env.remoteClients = nil
+	env.mu.Unlock()
+	for _, rc := range clients {
 		rc.Close()
 	}
 	for _, sm := range env.Managers {
@@ -212,12 +246,13 @@ func (env *Environment) Close() {
 	}
 }
 
-// SchedulerAt returns the Application Scheduler of site index i: its
-// local site plus every other site as a remote (over RPC when the
-// environment runs Site Managers).
-func (env *Environment) SchedulerAt(i int, k int) (*core.Scheduler, error) {
+// siteServices resolves site index i's scheduling services: its local
+// site plus every other site as a remote (over RPC when the environment
+// runs Site Managers). Dialed clients are owned by the environment and
+// released on Close.
+func (env *Environment) siteServices(i int) (core.SiteService, []core.SiteService, error) {
 	if i < 0 || i >= len(env.Sites) {
-		return nil, fmt.Errorf("vdce: no site %d", i)
+		return nil, nil, fmt.Errorf("vdce: no site %d", i)
 	}
 	var remotes []core.SiteService
 	for j, s := range env.Sites {
@@ -227,15 +262,28 @@ func (env *Environment) SchedulerAt(i int, k int) (*core.Scheduler, error) {
 		if len(env.Managers) == len(env.Sites) {
 			rc, err := control.DialSite(s.SiteName(), env.Managers[j].Addr())
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
+			env.mu.Lock()
 			env.remoteClients = append(env.remoteClients, rc)
+			env.mu.Unlock()
 			remotes = append(remotes, rc)
 		} else {
 			remotes = append(remotes, s)
 		}
 	}
-	return core.NewScheduler(env.Sites[i], remotes, env.Net, k), nil
+	return env.Sites[i], remotes, nil
+}
+
+// SchedulerAt returns the Application Scheduler of site index i: its
+// local site plus every other site as a remote (over RPC when the
+// environment runs Site Managers).
+func (env *Environment) SchedulerAt(i int, k int) (*core.Scheduler, error) {
+	local, remotes, err := env.siteServices(i)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewScheduler(local, remotes, env.Net, k), nil
 }
 
 // CostFunc derives the level-computation cost function for g from site
@@ -309,23 +357,27 @@ func (env *Environment) ClampK(owner string, k int) int {
 // EditorServer returns an Application Editor wired to site 0's accounts
 // and a submitter that schedules (and optionally executes) submissions.
 // The submitting user's access domain bounds how many neighbor sites the
-// scheduler may use.
+// scheduler may use. Executed submissions go through the concurrent
+// submission pipeline, so simultaneous editor clients are served
+// simultaneously.
 func (env *Environment) EditorServer(execute bool, k int) *editor.Server {
 	users := env.Sites[0].Repo.Users
-	return editor.NewServer(users, env.Registry, func(owner string, g *afg.Graph) (any, error) {
-		table, err := env.Schedule(g, env.ClampK(owner, k))
-		if err != nil {
-			return nil, err
-		}
+	return editor.NewServer(users, env.Registry, func(ctx context.Context, owner string, g *afg.Graph) (any, error) {
 		if !execute {
-			return table, nil
+			return env.Schedule(g, env.ClampK(owner, k))
 		}
-		res, err := env.Engine.Execute(context.Background(), g, table)
+		job, err := env.SubmitOwned(ctx, owner, g, k)
 		if err != nil {
 			return nil, err
 		}
+		if err := job.Wait(ctx); err != nil {
+			return nil, err
+		}
+		res := job.Result()
 		return map[string]any{
-			"table":    table,
+			"job":      job.ID,
+			"state":    job.State().String(),
+			"table":    job.Table(),
 			"makespan": res.Makespan.String(),
 			"runs":     len(res.Runs),
 		}, nil

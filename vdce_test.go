@@ -107,7 +107,7 @@ func TestEnvironmentEditorIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := srv.Submit("user_k", g)
+	out, err := srv.Submit(context.Background(), "user_k", g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestAccessDomainClampsK(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := srv.Submit("loc", g)
+	out, err := srv.Submit(context.Background(), "loc", g)
 	if err != nil {
 		t.Fatal(err)
 	}
