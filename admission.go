@@ -1,0 +1,170 @@
+package vdce
+
+import (
+	"sync"
+	"time"
+)
+
+// admitQueue is the pipeline's priority admission queue: a max-heap over
+// (effective priority, enqueue time) with starvation-protecting aging.
+//
+// A queued job's effective priority rises by one level per AgingStep of
+// waiting: eff(now) = base + (now - enqueued)/step. Because every queued
+// job ages at the same rate, the pairwise order of two jobs never changes
+// over time — eff_a(now) - eff_b(now) is independent of now — so the heap
+// key can be computed once at enqueue:
+//
+//	rank = base * step - enqueuedNanos
+//
+// Higher rank pops first. A low-priority job enqueued step*(Δbase) before
+// a high-priority one overtakes it, which is exactly aging: no job starves
+// forever behind a stream of higher-priority arrivals.
+//
+// The heap is hand-rolled over a slice of admitEntry (no container/heap)
+// so the Submit hot path does not pay an interface boxing allocation per
+// push and pop.
+type admitQueue struct {
+	mu   sync.Mutex
+	jobs []admitEntry
+	step time.Duration
+	seq  uint64
+}
+
+func newAdmitQueue(step time.Duration) *admitQueue {
+	return &admitQueue{step: step}
+}
+
+// rank computes the static heap key for a job admitted at enqueued. The
+// priority boost saturates at ±2^61 so an absurd caller-supplied
+// priority (the HTTP field is an arbitrary int) cannot overflow the
+// product and invert the queue order; saturated jobs rank equal and
+// fall back to FIFO via the seq tie-break.
+func (q *admitQueue) rank(priority int, enqueued time.Time) int64 {
+	const maxBoost = int64(1) << 61 // |boost| + |UnixNano| stays well inside int64
+	limit := maxBoost / int64(q.step)
+	p := int64(priority)
+	if p > limit {
+		p = limit
+	} else if p < -limit {
+		p = -limit
+	}
+	return p*int64(q.step) - enqueued.UnixNano()
+}
+
+// push enqueues a job.
+func (q *admitQueue) push(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.seq++
+	q.jobs = append(q.jobs, admitEntry{job: j, rank: q.rank(j.priority, j.enqueued), seq: q.seq})
+	q.up(len(q.jobs) - 1)
+}
+
+// pop removes and returns the highest-ranked queued job, or nil when the
+// queue is empty.
+func (q *admitQueue) pop() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.jobs) == 0 {
+		return nil
+	}
+	return q.removeAt(0).job
+}
+
+// remove deletes one job by ID, reporting whether it was found. Used by
+// Cancel to free the job's queue slot eagerly.
+func (q *admitQueue) remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i := range q.jobs {
+		if q.jobs[i].job.ID == id {
+			q.removeAt(i)
+			return true
+		}
+	}
+	return false
+}
+
+// position returns the 1-based dequeue position of a queued job (1 = next
+// to pop), or 0 when the job is not queued.
+func (q *admitQueue) position(id string) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var target *admitEntry
+	for i := range q.jobs {
+		if q.jobs[i].job.ID == id {
+			target = &q.jobs[i]
+			break
+		}
+	}
+	if target == nil {
+		return 0
+	}
+	pos := 1
+	for i := range q.jobs {
+		if q.jobs[i].before(*target) {
+			pos++
+		}
+	}
+	return pos
+}
+
+// removeAt deletes index i, restoring the heap. Caller holds q.mu.
+func (q *admitQueue) removeAt(i int) admitEntry {
+	e := q.jobs[i]
+	last := len(q.jobs) - 1
+	q.jobs[i] = q.jobs[last]
+	q.jobs[last] = admitEntry{} // release the *Job reference
+	q.jobs = q.jobs[:last]
+	if i < last {
+		q.down(i)
+		q.up(i)
+	}
+	return e
+}
+
+// up sifts index i toward the root. Caller holds q.mu.
+func (q *admitQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.jobs[i].before(q.jobs[parent]) {
+			return
+		}
+		q.jobs[i], q.jobs[parent] = q.jobs[parent], q.jobs[i]
+		i = parent
+	}
+}
+
+// down sifts index i toward the leaves. Caller holds q.mu.
+func (q *admitQueue) down(i int) {
+	n := len(q.jobs)
+	for {
+		best := i
+		if l := 2*i + 1; l < n && q.jobs[l].before(q.jobs[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && q.jobs[r].before(q.jobs[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		q.jobs[i], q.jobs[best] = q.jobs[best], q.jobs[i]
+		i = best
+	}
+}
+
+// admitEntry is one queued job with its precomputed admission rank.
+type admitEntry struct {
+	job  *Job
+	rank int64
+	seq  uint64 // FIFO tie-break for identical ranks
+}
+
+// before reports whether e dequeues ahead of o.
+func (e admitEntry) before(o admitEntry) bool {
+	if e.rank != o.rank {
+		return e.rank > o.rank
+	}
+	return e.seq < o.seq
+}

@@ -1,9 +1,12 @@
 // Command vdce-server runs one VDCE site: the Site Manager RPC endpoint
 // (scheduling, monitoring, and execution-record traffic) plus the
 // Application Editor HTTP API, over a fabricated testbed site.
-// Submissions flow through the environment's concurrent pipeline, so
-// many editor clients are served simultaneously; GET /jobs reports
-// every submission's lifecycle.
+// Submissions flow through the environment's priority admission
+// pipeline, so many editor clients are served simultaneously and
+// higher-priority users overtake a saturated queue. The versioned
+// job-control API (GET /v1/jobs with owner/state filters and
+// pagination, GET /v1/jobs/{id}, DELETE /v1/jobs/{id} to cancel) serves
+// status and control; the legacy GET /jobs dump remains.
 //
 //	vdce-server -hosts 8 -http 127.0.0.1:8470 -workers 4 -parallel 8
 //
@@ -24,6 +27,7 @@ import (
 	"os/signal"
 
 	"vdce"
+	"vdce/internal/jobsapi"
 	"vdce/internal/testbed"
 )
 
@@ -77,8 +81,16 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 	editorSrv := env.EditorServer(*execute, 0)
 	mux := http.NewServeMux()
 	mux.Handle("/", editorSrv.Handler())
-	// Job lifecycle monitoring: every submission's state, straight off
-	// the environment's job board. Shares the editor's login model.
+	// Versioned job-control API, mounted site-wide (not owner-scoped:
+	// this is the server's administrative surface, so any authenticated
+	// user may cancel any job). The editor's own /v1/jobs mount stays
+	// owner-scoped; this more specific registration shadows it here.
+	jobsV1 := env.JobsHandler(jobsapi.Config{Authenticate: editorSrv.SessionUser})
+	mux.Handle("GET /v1/jobs", jobsV1)
+	mux.Handle("GET /v1/jobs/{id}", jobsV1)
+	mux.Handle("DELETE /v1/jobs/{id}", jobsV1)
+	// Legacy job lifecycle monitoring: every submission's state, straight
+	// off the environment's job board. Shares the editor's login model.
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		if !editorSrv.Authenticated(r) {
@@ -112,6 +124,7 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 	fmt.Fprintf(out, "  site manager RPC : %s\n", env.Managers[0].Addr())
 	fmt.Fprintf(out, "  application editor: http://%s (user_k / vdce)\n", addr)
 	fmt.Fprintf(out, "  jobs endpoint     : http://%s/jobs\n", addr)
+	fmt.Fprintf(out, "  job-control API   : http://%s/v1/jobs\n", addr)
 	fmt.Fprintf(out, "  hosts:\n")
 	for _, h := range env.TB.Sites[0].Hosts {
 		fmt.Fprintf(out, "    %-28s %s %s speed=%.2f mem=%dMB\n",

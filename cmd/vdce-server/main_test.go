@@ -145,6 +145,92 @@ func TestServerServesSubmissionsAndJobs(t *testing.T) {
 	}
 }
 
+// TestServerServesJobControlAPI drives the versioned surface end to
+// end over the server binary: async v1 submission with priority, job
+// listing with filters, and cancellation.
+func TestServerServesJobControlAPI(t *testing.T) {
+	base := startServer(t, "-workers", "2", "-parallel", "2")
+	token := login(t, base)
+
+	do := func(method, path string, body []byte, want int) map[string]any {
+		t.Helper()
+		req, err := http.NewRequest(method, base+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		if resp.StatusCode != want {
+			t.Fatalf("%s %s: %d (want %d) %v", method, path, resp.StatusCode, want, out)
+		}
+		return out
+	}
+
+	g, err := tasklib.BuildC3IPipeline(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := g.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	imported := do("POST", "/apps/import", data, http.StatusCreated)
+	appID, _ := imported["id"].(string)
+
+	body, _ := json.Marshal(map[string]any{"priority": 7})
+	accepted := do("POST", fmt.Sprintf("/v1/apps/%s/submit", appID), body, http.StatusAccepted)
+	job, _ := accepted["job"].(map[string]any)
+	jobID, _ := job["id"].(string)
+	if jobID == "" {
+		t.Fatalf("v1 submit returned no job: %v", accepted)
+	}
+	if prio, _ := job["priority"].(float64); prio != 7 {
+		t.Fatalf("job priority = %v, want 7", job["priority"])
+	}
+
+	deadline := time.Now().Add(time.Minute)
+	for {
+		got := do("GET", "/v1/jobs/"+jobID, nil, http.StatusOK)
+		state, _ := got["job"].(map[string]any)["state"].(string)
+		if state == "done" {
+			break
+		}
+		if state == "failed" || state == "canceled" {
+			t.Fatalf("job ended %s: %v", state, got)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished: %v", jobID, got)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	list := do("GET", "/v1/jobs?owner=user_k&state=done", nil, http.StatusOK)
+	jobs, _ := list["jobs"].([]any)
+	if len(jobs) != 1 {
+		t.Fatalf("filtered listing = %v", list)
+	}
+	// Unauthenticated requests are rejected.
+	resp, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated /v1/jobs = %d, want 401", resp.StatusCode)
+	}
+	// Canceling a finished job is a no-op that reports the final state.
+	final := do("DELETE", "/v1/jobs/"+jobID, nil, http.StatusOK)
+	if state, _ := final["job"].(map[string]any)["state"].(string); state != "done" {
+		t.Fatalf("cancel of finished job reports %q, want done", state)
+	}
+}
+
 func TestServerRejectsBadFlags(t *testing.T) {
 	var out strings.Builder
 	if err := run(context.Background(), []string{"-no-such-flag"}, &out, nil); err == nil {

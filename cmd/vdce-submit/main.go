@@ -4,9 +4,17 @@
 // file. With -count > 1 it submits that many copies concurrently,
 // exercising the server's multi-application submission pipeline.
 //
+// Submissions go through the versioned job-control API
+// (POST /v1/apps/{id}/submit with -priority, -deadline, and -maxhosts),
+// then each job is polled on GET /v1/jobs/{id}: queue position and
+// state transitions are reported as they happen, and the command exits
+// non-zero if any submitted job is rejected, fails, or is canceled.
+// Servers without the job pipeline (schedule-only) fall back to the
+// legacy synchronous submit.
+//
 //	vdce-submit -server http://127.0.0.1:8470 -app les -n 256
-//	vdce-submit -server http://127.0.0.1:8470 -app c3i -count 8
-//	vdce-submit -server http://127.0.0.1:8470 -file app.json
+//	vdce-submit -server http://127.0.0.1:8470 -app c3i -count 8 -priority 9
+//	vdce-submit -server http://127.0.0.1:8470 -file app.json -deadline 30s
 package main
 
 import (
@@ -20,8 +28,10 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"time"
 
 	"vdce/internal/afg"
+	"vdce/internal/services"
 	"vdce/internal/tasklib"
 )
 
@@ -32,7 +42,9 @@ func main() {
 }
 
 // run parses args, builds the graph, and submits it -count times
-// concurrently, writing results to out.
+// concurrently, writing results to out. It returns an error — and the
+// process exits non-zero — if any submission is rejected or any job
+// ends failed or canceled.
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("vdce-submit", flag.ContinueOnError)
 	server := fs.String("server", "http://127.0.0.1:8470", "editor base URL")
@@ -42,6 +54,9 @@ func run(args []string, out io.Writer) error {
 	n := fs.Int("n", 256, "problem size (LES matrix order / C3I targets)")
 	file := fs.String("file", "", "submit an AFG JSON file instead of a built-in app")
 	count := fs.Int("count", 1, "how many copies to submit concurrently")
+	priority := fs.Int("priority", -1, "job priority (-1 = the account's default)")
+	deadline := fs.Duration("deadline", 0, "job deadline from submission (0 = none)")
+	maxHosts := fs.Int("maxhosts", -1, "neighbor-site count k (-1 = server default)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -62,11 +77,27 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	body := map[string]any{}
+	if *priority >= 0 {
+		body["priority"] = *priority
+	}
+	if *deadline > 0 {
+		body["deadline_ms"] = deadline.Milliseconds()
+	}
+	if *maxHosts >= 0 {
+		body["max_hosts"] = *maxHosts
+	}
+
+	var mu sync.Mutex // serializes report lines from concurrent watchers
+	say := func(format string, a ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintf(out, format, a...)
+	}
+
 	type outcome struct {
-		idx    int
-		id     string
-		result map[string]any
-		err    error
+		idx int
+		err error
 	}
 	results := make([]outcome, *count)
 	var wg sync.WaitGroup
@@ -74,12 +105,7 @@ func run(args []string, out io.Writer) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			oc := outcome{idx: i}
-			oc.id, oc.err = importGraph(*server, token, graph)
-			if oc.err == nil {
-				oc.result, oc.err = post(*server, token, "/apps/"+oc.id+"/submit", nil)
-			}
-			results[i] = oc
+			results[i] = outcome{idx: i, err: submitOne(*server, token, graph, body, say)}
 		}(i)
 	}
 	wg.Wait()
@@ -87,17 +113,113 @@ func run(args []string, out io.Writer) error {
 	var firstErr error
 	for _, oc := range results {
 		if oc.err != nil {
-			fmt.Fprintf(out, "submission %d failed: %v\n", oc.idx, oc.err)
+			say("submission %d failed: %v\n", oc.idx, oc.err)
 			if firstErr == nil {
 				firstErr = oc.err
 			}
-			continue
 		}
-		fmt.Fprintf(out, "submitted %q as %s\n", graph.Name, oc.id)
-		pretty, _ := json.MarshalIndent(oc.result, "", "  ")
-		fmt.Fprintln(out, string(pretty))
 	}
 	return firstErr
+}
+
+// submitOne imports the graph and submits it once, preferring the
+// versioned async endpoint and watching the job to a terminal state.
+func submitOne(server, token string, graph *afg.Graph, body map[string]any, say func(string, ...any)) error {
+	appID, err := importGraph(server, token, graph)
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	v1, code, err := request(server, token, "POST", "/v1/apps/"+appID+"/submit", payload)
+	switch code {
+	case http.StatusAccepted:
+		job, _ := v1["job"].(map[string]any)
+		id, _ := job["id"].(string)
+		if id == "" {
+			return fmt.Errorf("v1 submit returned no job id: %v", v1)
+		}
+		prio, _ := job["priority"].(float64)
+		say("submitted %q as %s: job %s (priority %d)\n", graph.Name, appID, id, int(prio))
+		return watchJob(server, token, id, say)
+	case http.StatusNotFound, http.StatusServiceUnavailable:
+		// Schedule-only or pre-/v1 server: legacy synchronous submit.
+		legacy, lcode, lerr := request(server, token, "POST", "/apps/"+appID+"/submit", nil)
+		if lerr != nil {
+			return lerr
+		}
+		if lcode >= 300 {
+			return fmt.Errorf("POST /apps/%s/submit: %d %v", appID, lcode, legacy)
+		}
+		pretty, _ := json.MarshalIndent(legacy["result"], "", "  ")
+		say("submitted %q as %s\n%s\n", graph.Name, appID, pretty)
+		return nil
+	default:
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("POST /v1/apps/%s/submit: %d %v", appID, code, v1)
+	}
+}
+
+// watchJob polls GET /v1/jobs/{id}, reporting queue-position and state
+// transitions until the job is terminal. Failed and canceled jobs are
+// errors.
+func watchJob(server, token, id string, say func(string, ...any)) error {
+	// Slow-start polling: quick enough to catch millisecond jobs, backing
+	// off toward a gentle cadence so -count watchers do not hammer the
+	// very server they are monitoring. A transition resets the pace.
+	const minPoll, maxPoll = 10 * time.Millisecond, 250 * time.Millisecond
+	poll := minPoll
+	lastState, lastPos := "", -1
+	for {
+		resp, code, err := request(server, token, "GET", "/v1/jobs/"+id, nil)
+		if err != nil {
+			return err
+		}
+		if code == http.StatusNotFound && lastState != "" {
+			// The server retains a bounded job history; a terminal job can
+			// be evicted between polls. The final state is unknowable, but
+			// the job did exist and ran — do not report it as a failure.
+			say("  %s evicted from the server's job history before its final state was observed\n", id)
+			return nil
+		}
+		if code != http.StatusOK {
+			return fmt.Errorf("GET /v1/jobs/%s: %d %v", id, code, resp)
+		}
+		job, _ := resp["job"].(map[string]any)
+		state, _ := job["state"].(string)
+		pos := 0
+		if p, ok := job["queue_position"].(float64); ok {
+			pos = int(p)
+		}
+		if state != lastState || pos != lastPos {
+			switch {
+			case state == services.JobStateQueued && pos > 0:
+				say("  %s %s (queue position %d)\n", id, state, pos)
+			default:
+				say("  %s %s\n", id, state)
+			}
+			lastState, lastPos = state, pos
+			poll = minPoll
+		}
+		switch state {
+		case services.JobStateDone:
+			return nil
+		case services.JobStateFailed, services.JobStateCanceled:
+			msg, _ := job["error"].(string)
+			return fmt.Errorf("job %s ended %s: %s", id, state, msg)
+		}
+		time.Sleep(poll)
+		if poll < maxPoll {
+			poll *= 2
+			if poll > maxPoll {
+				poll = maxPoll
+			}
+		}
+	}
 }
 
 // buildGraph resolves the submission source: a JSON file or a built-in.
@@ -143,9 +265,12 @@ func importGraph(base, token string, g *afg.Graph) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	out, err := request(base, token, "POST", "/apps/import", data)
+	out, code, err := request(base, token, "POST", "/apps/import", data)
 	if err != nil {
 		return "", err
+	}
+	if code >= 300 {
+		return "", fmt.Errorf("POST /apps/import: %d %v", code, out)
 	}
 	id, ok := out["id"].(string)
 	if !ok {
@@ -154,25 +279,21 @@ func importGraph(base, token string, g *afg.Graph) (string, error) {
 	return id, nil
 }
 
-func post(base, token, path string, body []byte) (map[string]any, error) {
-	return request(base, token, "POST", path, body)
-}
-
-func request(base, token, method, path string, body []byte) (map[string]any, error) {
+// request issues one authenticated JSON request, returning the decoded
+// body and status code. Transport failures are errors; HTTP error codes
+// are returned for the caller to interpret.
+func request(base, token, method, path string, body []byte) (map[string]any, int, error) {
 	req, err := http.NewRequest(method, base+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	req.Header.Set("Authorization", "Bearer "+token)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	var out map[string]any
 	_ = json.NewDecoder(resp.Body).Decode(&out)
-	if resp.StatusCode >= 300 {
-		return nil, fmt.Errorf("%s %s: %d %v", method, path, resp.StatusCode, out)
-	}
-	return out, nil
+	return out, resp.StatusCode, nil
 }

@@ -11,7 +11,7 @@ import (
 
 // newEditorServer spins an in-process VDCE environment plus its editor
 // HTTP API for the client to talk to.
-func newEditorServer(t *testing.T, execute bool) *httptest.Server {
+func newEditorServer(t *testing.T, execute bool) (*httptest.Server, *vdce.Environment) {
 	t.Helper()
 	env, err := vdce.New(vdce.Config{
 		Testbed: testbed.Config{Sites: 1, HostsPerGroup: 3, Seed: 11},
@@ -22,11 +22,14 @@ func newEditorServer(t *testing.T, execute bool) *httptest.Server {
 	t.Cleanup(env.Close)
 	srv := httptest.NewServer(env.EditorServer(execute, 0).Handler())
 	t.Cleanup(srv.Close)
-	return srv
+	return srv, env
 }
 
+// TestRunSubmitsBuiltinApp covers the schedule-only server: the v1
+// endpoint answers 503, and the client falls back to the legacy
+// synchronous submit.
 func TestRunSubmitsBuiltinApp(t *testing.T) {
-	srv := newEditorServer(t, false)
+	srv, _ := newEditorServer(t, false)
 	var out strings.Builder
 	err := run([]string{"-server", srv.URL, "-app", "c3i", "-n", "6"}, &out)
 	if err != nil {
@@ -38,18 +41,40 @@ func TestRunSubmitsBuiltinApp(t *testing.T) {
 }
 
 func TestRunSubmitsConcurrentCopies(t *testing.T) {
-	srv := newEditorServer(t, true)
+	srv, _ := newEditorServer(t, true)
 	var out strings.Builder
-	err := run([]string{"-server", srv.URL, "-app", "c3i", "-n", "6", "-count", "4"}, &out)
+	err := run([]string{"-server", srv.URL, "-app", "c3i", "-n", "6", "-count", "4", "-priority", "8"}, &out)
 	if err != nil {
 		t.Fatalf("run: %v\n%s", err, out.String())
 	}
-	if got := strings.Count(out.String(), "submitted"); got != 4 {
-		t.Errorf("confirmed %d submissions, want 4:\n%s", got, out.String())
+	got := out.String()
+	if n := strings.Count(got, "submitted"); n != 4 {
+		t.Errorf("confirmed %d submissions, want 4:\n%s", n, got)
 	}
-	// Executed submissions return their pipeline job IDs.
-	if !strings.Contains(out.String(), `"job"`) {
-		t.Errorf("executed submission reported no job ID:\n%s", out.String())
+	// Async submissions surface their pipeline job IDs, priorities, and
+	// final state transitions.
+	if !strings.Contains(got, "(priority 8)") {
+		t.Errorf("submission reported no priority:\n%s", got)
+	}
+	if strings.Count(got, " done") != 4 {
+		t.Errorf("expected 4 done transitions:\n%s", got)
+	}
+}
+
+// TestRunExitsNonZeroOnCanceledJob pins the failure contract: a job that
+// does not end done (here: its deadline expires while the environment's
+// console is suspended) makes run return an error.
+func TestRunExitsNonZeroOnCanceledJob(t *testing.T) {
+	srv, env := newEditorServer(t, true)
+	env.Console.Suspend()
+	defer env.Console.Resume()
+	var out strings.Builder
+	err := run([]string{"-server", srv.URL, "-app", "c3i", "-n", "6", "-deadline", "50ms"}, &out)
+	if err == nil {
+		t.Fatalf("run succeeded despite expired deadline:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "failed") {
+		t.Errorf("no failure transition in output:\n%s", out.String())
 	}
 }
 
@@ -67,7 +92,7 @@ func TestRunRejectsBadInput(t *testing.T) {
 }
 
 func TestRunFailsOnBadCredentials(t *testing.T) {
-	srv := newEditorServer(t, false)
+	srv, _ := newEditorServer(t, false)
 	var out strings.Builder
 	if err := run([]string{"-server", srv.URL, "-user", "ghost", "-pass", "nope", "-app", "c3i", "-n", "6"}, &out); err == nil {
 		t.Error("bad credentials accepted")

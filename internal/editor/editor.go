@@ -20,8 +20,11 @@ import (
 	"strings"
 	"sync"
 
+	"time"
+
 	"vdce/internal/afg"
 	"vdce/internal/repository"
+	"vdce/internal/services"
 	"vdce/internal/tasklib"
 )
 
@@ -35,11 +38,43 @@ import (
 // typically the resource allocation table.
 type Submitter func(ctx context.Context, owner string, g *afg.Graph) (any, error)
 
+// JobOptions carries the per-submission controls of the versioned
+// submit endpoint (POST /v1/apps/{id}/submit). Nil pointers mean "use
+// the server default".
+type JobOptions struct {
+	// Priority overrides the owner's account priority for this job.
+	Priority *int
+	// Deadline bounds the job's lifetime from admission; 0 means none.
+	Deadline time.Duration
+	// MaxHosts overrides the scheduler's neighbor-site count k (still
+	// clamped by the owner's access domain).
+	MaxHosts *int
+}
+
+// JobSubmitter enqueues a validated application for asynchronous
+// execution and returns the job's admission status immediately — the
+// versioned counterpart of Submitter, wired to the environment's
+// priority submission pipeline.
+type JobSubmitter func(ctx context.Context, owner string, g *afg.Graph, o JobOptions) (services.JobStatus, error)
+
+// ErrBadSubmission marks JobSubmitter failures caused by the request
+// itself (an already-expired deadline, a client that disconnected), so
+// the v1 submit endpoint answers 400 instead of 500. Wrap with
+// fmt.Errorf("%w: ...", ErrBadSubmission).
+var ErrBadSubmission = errors.New("editor: bad submission")
+
 // Server is the editor backend for one VDCE site.
 type Server struct {
 	Users    *repository.UserAccountsDB
 	Registry *tasklib.Registry
 	Submit   Submitter
+	// SubmitJob backs POST /v1/apps/{id}/submit; nil disables the
+	// endpoint (503), e.g. on schedule-only servers.
+	SubmitJob JobSubmitter
+	// Jobs, when non-nil, is mounted under /v1/jobs — the shared
+	// job-control API (internal/jobsapi), owner-scoped by the embedding
+	// environment so editor users manage their own jobs.
+	Jobs http.Handler
 
 	mu       sync.Mutex
 	sessions map[string]string         // token -> user
@@ -79,6 +114,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /apps/{id}/edges", s.auth(s.handleAddEdge))
 	mux.HandleFunc("POST /apps/{id}/props", s.auth(s.handleSetProps))
 	mux.HandleFunc("POST /apps/{id}/submit", s.auth(s.handleSubmit))
+	// Versioned job-control surface: asynchronous submission with
+	// priority/deadline/max-hosts, plus the shared /v1/jobs API.
+	mux.HandleFunc("POST /v1/apps/{id}/submit", s.auth(s.handleSubmitV1))
+	if s.Jobs != nil {
+		mux.Handle("/v1/jobs", s.Jobs)
+		mux.Handle("/v1/jobs/{id}", s.Jobs)
+	}
 	return mux
 }
 
@@ -121,6 +163,13 @@ func (s *Server) sessionUser(r *http.Request) (string, bool) {
 func (s *Server) Authenticated(r *http.Request) bool {
 	_, ok := s.sessionUser(r)
 	return ok
+}
+
+// SessionUser resolves the request's bearer token to its logged-in user
+// — the authentication hook sibling mounts (the job-control API) plug
+// into so every surface shares one login model.
+func (s *Server) SessionUser(r *http.Request) (string, bool) {
+	return s.sessionUser(r)
 }
 
 // auth wraps a handler with bearer-token session checking — the paper's
@@ -376,15 +425,30 @@ func (s *Server) handleSetProps(w http.ResponseWriter, r *http.Request, user str
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// snapshotGraph deep-copies an application's graph under the server
+// lock (via a JSON round trip), so the submission pipeline never shares
+// structure with a graph later edit requests keep mutating.
+func (s *Server) snapshotGraph(app *appInProgress) (*afg.Graph, error) {
+	s.mu.Lock()
+	data, err := app.graph.EncodeJSON()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return afg.DecodeJSON(data)
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, user string) {
 	app, err := s.app(r.PathValue("id"), user)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	s.mu.Lock()
-	g := app.graph
-	s.mu.Unlock()
+	g, err := s.snapshotGraph(app)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
 	if err := g.Validate(); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -399,4 +463,65 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request, user strin
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"result": result})
+}
+
+// submitV1Request is the body of POST /v1/apps/{id}/submit. All fields
+// are optional.
+type submitV1Request struct {
+	// Priority overrides the account priority for this job.
+	Priority *int `json:"priority"`
+	// DeadlineMS bounds the job's lifetime, in milliseconds from now.
+	DeadlineMS int64 `json:"deadline_ms"`
+	// MaxHosts overrides the scheduler's neighbor-site count k.
+	MaxHosts *int `json:"max_hosts"`
+}
+
+// handleSubmitV1 enqueues the application asynchronously with job
+// options and returns the job's admission status (ID, state, priority,
+// queue position) immediately; clients follow progress — and cancel —
+// through /v1/jobs/{id}.
+func (s *Server) handleSubmitV1(w http.ResponseWriter, r *http.Request, user string) {
+	app, err := s.app(r.PathValue("id"), user)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var req submitV1Request
+	if r.Body != nil && r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	if req.DeadlineMS < 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("editor: deadline_ms must be >= 0"))
+		return
+	}
+	g, err := s.snapshotGraph(app)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := g.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.SubmitJob == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("editor: no job pipeline attached"))
+		return
+	}
+	status, err := s.SubmitJob(r.Context(), user, g, JobOptions{
+		Priority: req.Priority,
+		Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
+		MaxHosts: req.MaxHosts,
+	})
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrBadSubmission) {
+			code = http.StatusBadRequest
+		}
+		writeErr(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"job": status})
 }

@@ -1,0 +1,190 @@
+// Package jobsapi is the versioned job-control HTTP surface shared by
+// every VDCE front end: vdce-server mounts it as the site-wide
+// monitoring and control API, and the Application Editor mounts it
+// owner-scoped so users manage their own running applications — the
+// paper's "user interacts with the executing application" through the
+// editor, generalized to a protocol both tools speak.
+//
+//	GET    /v1/jobs           list jobs (filter: owner, state; paginate:
+//	                          offset, limit)
+//	GET    /v1/jobs/{id}      one job's status
+//	DELETE /v1/jobs/{id}      cancel a queued or running job
+//
+// All endpoints require authentication; the embedding server supplies
+// the session model.
+package jobsapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"vdce/internal/services"
+)
+
+// DefaultLimit and MaxLimit bound GET /v1/jobs pages.
+const (
+	DefaultLimit = 100
+	MaxLimit     = 1000
+)
+
+// Source is the job store the API serves — implemented by
+// vdce.Environment.
+type Source interface {
+	// ListJobs returns statuses filtered by owner and state (empty
+	// strings match everything) in a stable, deterministic order.
+	ListJobs(owner, state string) []services.JobStatus
+	// Job returns one job's current status.
+	Job(id string) (services.JobStatus, bool)
+	// CancelJob cancels a queued or running job; canceling a terminal
+	// job is a no-op. It errors only for unknown IDs.
+	CancelJob(id string) error
+}
+
+// Config wires one mount of the API.
+type Config struct {
+	// Source supplies and controls the jobs.
+	Source Source
+	// Authenticate resolves a request to its user; ok=false yields 401.
+	// The user name is what OwnerScoped authorization compares against.
+	Authenticate func(*http.Request) (user string, ok bool)
+	// OwnerScoped restricts the whole surface to the caller's own jobs
+	// (the editor mount): listings are forced to owner=<caller>, and
+	// GET/DELETE on someone else's job answer 403. Unscoped mounts (the
+	// vdce-server administrative surface) expose and control every job.
+	OwnerScoped bool
+}
+
+// Handler returns the /v1 job-control mux.
+func Handler(cfg Config) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/jobs", cfg.auth(cfg.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", cfg.auth(cfg.handleGet))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", cfg.auth(cfg.handleCancel))
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (c Config) auth(h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		user, ok := c.Authenticate(r)
+		if !ok {
+			writeErr(w, http.StatusUnauthorized, errors.New("jobsapi: not authenticated"))
+			return
+		}
+		h(w, r, user)
+	}
+}
+
+// listResponse is one GET /v1/jobs page.
+type listResponse struct {
+	Jobs []services.JobStatus `json:"jobs"`
+	// Total is the filtered job count before pagination.
+	Total  int `json:"total"`
+	Offset int `json:"offset"`
+	Limit  int `json:"limit"`
+}
+
+// queryInt parses a non-negative integer query parameter.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("jobsapi: %s must be a non-negative integer, got %q", name, raw)
+	}
+	return v, nil
+}
+
+func (c Config) handleList(w http.ResponseWriter, r *http.Request, user string) {
+	q := r.URL.Query()
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	limit, err := queryInt(r, "limit", DefaultLimit)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// An explicit limit=0 is the count-only idiom: zero rows plus Total.
+	if limit > MaxLimit {
+		limit = MaxLimit
+	}
+	owner := q.Get("owner")
+	if c.OwnerScoped {
+		// Users see only their own jobs, whatever filter they ask for.
+		owner = user
+	}
+	jobs := c.Source.ListJobs(owner, q.Get("state"))
+	total := len(jobs)
+	if offset > total {
+		offset = total
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	writeJSON(w, http.StatusOK, listResponse{
+		Jobs: jobs[offset:end], Total: total, Offset: offset, Limit: limit,
+	})
+}
+
+// fetch resolves one job for the authenticated user, writing the 404 /
+// 403 responses itself. On owner-scoped mounts another user's job is
+// 403 without naming its owner.
+func (c Config) fetch(w http.ResponseWriter, id, user string) (services.JobStatus, bool) {
+	s, ok := c.Source.Job(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("jobsapi: no job %q", id))
+		return services.JobStatus{}, false
+	}
+	if c.OwnerScoped && s.Owner != user {
+		writeErr(w, http.StatusForbidden,
+			fmt.Errorf("jobsapi: job %q belongs to another user", id))
+		return services.JobStatus{}, false
+	}
+	return s, true
+}
+
+func (c Config) handleGet(w http.ResponseWriter, r *http.Request, user string) {
+	s, ok := c.fetch(w, r.PathValue("id"), user)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": s})
+}
+
+func (c Config) handleCancel(w http.ResponseWriter, r *http.Request, user string) {
+	id := r.PathValue("id")
+	s, ok := c.fetch(w, id, user)
+	if !ok {
+		return
+	}
+	if err := c.Source.CancelJob(id); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	// Report the post-cancel status; a queued job is already terminal, a
+	// running one may still be draining. If retention pruning evicted the
+	// job between cancel and re-fetch, answer with the pre-cancel
+	// snapshot rather than a zero-value job.
+	if cur, found := c.Source.Job(id); found {
+		s = cur
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"job": s})
+}

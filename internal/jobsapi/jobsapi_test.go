@@ -1,0 +1,212 @@
+package jobsapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vdce/internal/services"
+)
+
+// fakeSource is an in-memory Source over a fixed job set.
+type fakeSource struct {
+	jobs     []services.JobStatus
+	canceled []string
+}
+
+func (f *fakeSource) ListJobs(owner, state string) []services.JobStatus {
+	out := make([]services.JobStatus, 0, len(f.jobs))
+	for _, s := range f.jobs {
+		if s.Matches(owner, state) {
+			out = append(out, s)
+		}
+	}
+	services.SortJobs(out)
+	return out
+}
+
+func (f *fakeSource) Job(id string) (services.JobStatus, bool) {
+	for _, s := range f.jobs {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return services.JobStatus{}, false
+}
+
+func (f *fakeSource) CancelJob(id string) error {
+	if _, ok := f.Job(id); !ok {
+		return errors.New("unknown job")
+	}
+	f.canceled = append(f.canceled, id)
+	return nil
+}
+
+func newTestAPI(t *testing.T, n int, ownerScoped bool) (*httptest.Server, *fakeSource) {
+	t.Helper()
+	src := &fakeSource{}
+	t0 := time.Unix(1000, 0)
+	for i := 1; i <= n; i++ {
+		owner := "ana"
+		if i%2 == 0 {
+			owner = "bo"
+		}
+		state := services.JobStateQueued
+		if i <= n/2 {
+			state = services.JobStateDone
+		}
+		src.jobs = append(src.jobs, services.JobStatus{
+			ID: fmt.Sprintf("job-%d", i), App: "app", Owner: owner,
+			State: state, SubmittedAt: t0.Add(time.Duration(i) * time.Second),
+		})
+	}
+	ts := httptest.NewServer(Handler(Config{
+		Source: src,
+		Authenticate: func(r *http.Request) (string, bool) {
+			u := r.Header.Get("X-User")
+			return u, u != ""
+		},
+		OwnerScoped: ownerScoped,
+	}))
+	t.Cleanup(ts.Close)
+	return ts, src
+}
+
+func call(t *testing.T, ts *httptest.Server, method, path, user string) (map[string]any, int) {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if user != "" {
+		req.Header.Set("X-User", user)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return out, resp.StatusCode
+}
+
+func TestListPaginationAndFilters(t *testing.T) {
+	ts, _ := newTestAPI(t, 10, false)
+
+	out, code := call(t, ts, "GET", "/v1/jobs", "ana")
+	if code != http.StatusOK {
+		t.Fatalf("list = %d", code)
+	}
+	if total := out["total"].(float64); total != 10 {
+		t.Fatalf("total = %v, want 10", total)
+	}
+
+	// Pages of 3 tile the set without overlap, in stable order.
+	var seen []string
+	for offset := 0; offset < 10; offset += 3 {
+		out, _ := call(t, ts, "GET", fmt.Sprintf("/v1/jobs?limit=3&offset=%d", offset), "ana")
+		for _, item := range out["jobs"].([]any) {
+			seen = append(seen, item.(map[string]any)["id"].(string))
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("pages covered %d jobs, want 10: %v", len(seen), seen)
+	}
+	for i, id := range seen {
+		if want := fmt.Sprintf("job-%d", i+1); id != want {
+			t.Fatalf("page order[%d] = %s, want %s", i, id, want)
+		}
+	}
+
+	// Explicit limit=0 is the count-only idiom: no rows, just Total.
+	out, _ = call(t, ts, "GET", "/v1/jobs?limit=0", "ana")
+	if rows := out["jobs"].([]any); len(rows) != 0 {
+		t.Fatalf("limit=0 returned %d rows, want 0", len(rows))
+	}
+	if total := out["total"].(float64); total != 10 {
+		t.Fatalf("limit=0 total = %v, want 10", total)
+	}
+
+	// Offset past the end is an empty page, not an error.
+	out, code = call(t, ts, "GET", "/v1/jobs?offset=99", "ana")
+	if code != http.StatusOK || len(out["jobs"].([]any)) != 0 {
+		t.Fatalf("past-end page = %d %v", code, out)
+	}
+	// Bad pagination values are rejected.
+	if _, code := call(t, ts, "GET", "/v1/jobs?limit=-1", "ana"); code != http.StatusBadRequest {
+		t.Fatalf("negative limit = %d, want 400", code)
+	}
+	if _, code := call(t, ts, "GET", "/v1/jobs?offset=x", "ana"); code != http.StatusBadRequest {
+		t.Fatalf("bad offset = %d, want 400", code)
+	}
+
+	// Filters pass through to the source.
+	out, _ = call(t, ts, "GET", "/v1/jobs?owner=bo&state=queued", "ana")
+	for _, item := range out["jobs"].([]any) {
+		job := item.(map[string]any)
+		if job["owner"] != "bo" || job["state"] != services.JobStateQueued {
+			t.Fatalf("filtered listing leaked %v", job)
+		}
+	}
+}
+
+func TestGetAndAuth(t *testing.T) {
+	ts, _ := newTestAPI(t, 3, false)
+	if _, code := call(t, ts, "GET", "/v1/jobs", ""); code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated list = %d, want 401", code)
+	}
+	out, code := call(t, ts, "GET", "/v1/jobs/job-2", "ana")
+	if code != http.StatusOK || out["job"].(map[string]any)["id"] != "job-2" {
+		t.Fatalf("get = %d %v", code, out)
+	}
+	if _, code := call(t, ts, "GET", "/v1/jobs/job-404", "ana"); code != http.StatusNotFound {
+		t.Fatalf("get unknown = %d, want 404", code)
+	}
+}
+
+func TestCancelOwnerScoping(t *testing.T) {
+	// Unscoped: any authenticated user cancels any job.
+	ts, src := newTestAPI(t, 4, false)
+	if _, code := call(t, ts, "DELETE", "/v1/jobs/job-1", "bo"); code != http.StatusOK {
+		t.Fatalf("unscoped cross-owner cancel = %d, want 200", code)
+	}
+	if len(src.canceled) != 1 || src.canceled[0] != "job-1" {
+		t.Fatalf("canceled = %v", src.canceled)
+	}
+
+	// Owner-scoped: the whole surface narrows to the caller's own jobs.
+	ts2, src2 := newTestAPI(t, 4, true)
+	if _, code := call(t, ts2, "DELETE", "/v1/jobs/job-1", "bo"); code != http.StatusForbidden {
+		t.Fatalf("scoped cross-owner cancel = %d, want 403", code)
+	}
+	if out, code := call(t, ts2, "DELETE", "/v1/jobs/job-1", "bo"); code == http.StatusForbidden {
+		if msg, _ := out["error"].(string); strings.Contains(msg, "ana") {
+			t.Fatalf("403 leaks the job owner's name: %q", msg)
+		}
+	}
+	if _, code := call(t, ts2, "GET", "/v1/jobs/job-1", "bo"); code != http.StatusForbidden {
+		t.Fatalf("scoped cross-owner get = %d, want 403", code)
+	}
+	// Scoped listings ignore the owner query parameter entirely.
+	out, _ := call(t, ts2, "GET", "/v1/jobs?owner=ana", "bo")
+	for _, item := range out["jobs"].([]any) {
+		if job := item.(map[string]any); job["owner"] != "bo" {
+			t.Fatalf("scoped listing leaked %v", job)
+		}
+	}
+	if _, code := call(t, ts2, "DELETE", "/v1/jobs/job-1", "ana"); code != http.StatusOK {
+		t.Fatalf("scoped owner cancel = %d, want 200", code)
+	}
+	if len(src2.canceled) != 1 || src2.canceled[0] != "job-1" {
+		t.Fatalf("canceled = %v", src2.canceled)
+	}
+	if _, code := call(t, ts2, "DELETE", "/v1/jobs/job-404", "ana"); code != http.StatusNotFound {
+		t.Fatalf("cancel unknown = %d, want 404", code)
+	}
+}

@@ -7,31 +7,67 @@ import (
 )
 
 // Job lifecycle states, in submission order. The pipeline moves every
-// application through queued -> scheduling -> running -> done|failed.
+// application through queued -> scheduling -> running ->
+// done|failed|canceled.
 const (
 	JobStateQueued     = "queued"
 	JobStateScheduling = "scheduling"
 	JobStateRunning    = "running"
 	JobStateDone       = "done"
 	JobStateFailed     = "failed"
+	JobStateCanceled   = "canceled"
 )
 
 // JobStatus is a snapshot of one submitted application's lifecycle,
-// published by the submission pipeline for monitoring tools.
+// published by the submission pipeline for monitoring tools and the
+// versioned job-control API.
 type JobStatus struct {
-	ID          string    `json:"id"`
-	App         string    `json:"app"`
-	Owner       string    `json:"owner,omitempty"`
-	State       string    `json:"state"`
-	SubmittedAt time.Time `json:"submitted_at"`
-	StartedAt   time.Time `json:"started_at,omitzero"`
-	FinishedAt  time.Time `json:"finished_at,omitzero"`
-	Error       string    `json:"error,omitempty"`
+	ID    string `json:"id"`
+	App   string `json:"app"`
+	Owner string `json:"owner,omitempty"`
+	State string `json:"state"`
+	// Priority is the job's base admission priority (owner account
+	// priority unless overridden at submit time).
+	Priority int `json:"priority"`
+	// QueuePosition is the job's 1-based dequeue position while queued
+	// (1 = next to be scheduled); 0 once it left the admission queue.
+	QueuePosition int               `json:"queue_position,omitempty"`
+	Labels        map[string]string `json:"labels,omitempty"`
+	Deadline      time.Time         `json:"deadline,omitzero"`
+	SubmittedAt   time.Time         `json:"submitted_at"`
+	StartedAt     time.Time         `json:"started_at,omitzero"`
+	FinishedAt    time.Time         `json:"finished_at,omitzero"`
+	Error         string            `json:"error,omitempty"`
 }
 
 // Terminal reports whether the status will never change again.
 func (s JobStatus) Terminal() bool {
-	return s.State == JobStateDone || s.State == JobStateFailed
+	return s.State == JobStateDone || s.State == JobStateFailed || s.State == JobStateCanceled
+}
+
+// Matches is the job-control API's filter predicate: empty filter
+// fields match everything. Every listing surface (board, live pipeline)
+// shares it so the /v1 data paths cannot diverge.
+func (s JobStatus) Matches(owner, state string) bool {
+	if owner != "" && s.Owner != owner {
+		return false
+	}
+	if state != "" && s.State != state {
+		return false
+	}
+	return true
+}
+
+// SortJobs orders statuses stably by (submission time, then ID), the
+// canonical listing order of the job-control API — deterministic, so
+// paginated clients never see entries shift between pages.
+func SortJobs(jobs []JobStatus) {
+	sort.SliceStable(jobs, func(i, j int) bool {
+		if !jobs[i].SubmittedAt.Equal(jobs[j].SubmittedAt) {
+			return jobs[i].SubmittedAt.Before(jobs[j].SubmittedAt)
+		}
+		return jobs[i].ID < jobs[j].ID
+	})
 }
 
 // JobBoard is the monitoring view of the submission pipeline: the
@@ -83,14 +119,26 @@ func (b *JobBoard) Get(id string) (JobStatus, bool) {
 	return s, ok
 }
 
-// List returns every job status in submission order.
+// List returns every job status in stable (submission time, then ID)
+// order.
 func (b *JobBoard) List() []JobStatus {
+	return b.ListFiltered("", "")
+}
+
+// ListFiltered returns the job statuses matching the owner and state
+// filters (empty strings match everything), in stable (submission time,
+// then ID) order — the deterministic base the job-control API paginates
+// over.
+func (b *JobBoard) ListFiltered(owner, state string) []JobStatus {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	out := make([]JobStatus, 0, len(b.order))
 	for _, id := range b.order {
-		out = append(out, b.jobs[id])
+		if s := b.jobs[id]; s.Matches(owner, state) {
+			out = append(out, s)
+		}
 	}
+	b.mu.Unlock()
+	SortJobs(out)
 	return out
 }
 

@@ -18,7 +18,7 @@ func TestJobBoardLifecycle(t *testing.T) {
 
 	b.Update(JobStatus{ID: "job-1", App: "les", State: JobStateRunning, SubmittedAt: now, StartedAt: now})
 	b.Update(JobStatus{ID: "job-1", App: "les", State: JobStateDone, SubmittedAt: now, StartedAt: now, FinishedAt: now})
-	b.Update(JobStatus{ID: "job-2", App: "c3i", State: JobStateFailed, Error: "no eligible host"})
+	b.Update(JobStatus{ID: "job-2", App: "c3i", State: JobStateFailed, SubmittedAt: now, Error: "no eligible host"})
 
 	if got := b.InFlight(); got != 0 {
 		t.Fatalf("InFlight after completion = %d, want 0", got)
@@ -42,6 +42,57 @@ func TestJobBoardLifecycle(t *testing.T) {
 	list := b.List()
 	if len(list) != 2 || list[0].ID != "job-1" || list[1].ID != "job-2" {
 		t.Fatalf("List out of submission order: %+v", list)
+	}
+}
+
+// TestJobBoardStableOrderAndFilters is the pagination-determinism
+// regression test: List orders by (submit time, then ID) regardless of
+// insertion order, and ListFiltered narrows by owner and state without
+// disturbing that order.
+func TestJobBoardStableOrderAndFilters(t *testing.T) {
+	b := NewJobBoard()
+	t0 := time.Unix(100, 0)
+	// Inserted deliberately out of submission order, with an ID tie on t0.
+	b.Update(JobStatus{ID: "job-3", Owner: "ana", State: JobStateRunning, SubmittedAt: t0.Add(2 * time.Second)})
+	b.Update(JobStatus{ID: "job-2", Owner: "bo", State: JobStateQueued, SubmittedAt: t0})
+	b.Update(JobStatus{ID: "job-1", Owner: "ana", State: JobStateDone, SubmittedAt: t0})
+	b.Update(JobStatus{ID: "job-4", Owner: "ana", State: JobStateCanceled, SubmittedAt: t0.Add(time.Second)})
+
+	wantOrder := []string{"job-1", "job-2", "job-4", "job-3"}
+	list := b.List()
+	if len(list) != len(wantOrder) {
+		t.Fatalf("List = %d entries, want %d", len(list), len(wantOrder))
+	}
+	for i, id := range wantOrder {
+		if list[i].ID != id {
+			t.Fatalf("List[%d] = %s, want %s (full: %+v)", i, list[i].ID, id, list)
+		}
+	}
+	// Repeated calls are identical — the determinism pagination needs.
+	again := b.List()
+	for i := range list {
+		if again[i].ID != list[i].ID {
+			t.Fatalf("List not stable across calls: %v vs %v", again[i].ID, list[i].ID)
+		}
+	}
+
+	owned := b.ListFiltered("ana", "")
+	if len(owned) != 3 || owned[0].ID != "job-1" || owned[1].ID != "job-4" || owned[2].ID != "job-3" {
+		t.Fatalf("ListFiltered(ana) = %+v", owned)
+	}
+	canceled := b.ListFiltered("", JobStateCanceled)
+	if len(canceled) != 1 || canceled[0].ID != "job-4" {
+		t.Fatalf("ListFiltered(canceled) = %+v", canceled)
+	}
+	if !canceled[0].Terminal() {
+		t.Fatal("canceled status not terminal")
+	}
+	both := b.ListFiltered("ana", JobStateDone)
+	if len(both) != 1 || both[0].ID != "job-1" {
+		t.Fatalf("ListFiltered(ana, done) = %+v", both)
+	}
+	if got := b.ListFiltered("ghost", ""); len(got) != 0 {
+		t.Fatalf("ListFiltered(ghost) = %+v, want empty", got)
 	}
 }
 

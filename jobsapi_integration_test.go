@@ -1,0 +1,312 @@
+package vdce
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vdce/internal/repository"
+	"vdce/internal/services"
+)
+
+// jobsClient is a minimal authenticated HTTP client for the editor's
+// versioned job-control surface.
+type jobsClient struct {
+	t     *testing.T
+	base  string
+	token string
+}
+
+func newJobsClient(t *testing.T, base, user, pass string) *jobsClient {
+	t.Helper()
+	c := &jobsClient{t: t, base: base}
+	out := c.do("POST", "/login", map[string]string{"user": user, "password": pass}, http.StatusOK)
+	tok, _ := out["token"].(string)
+	if tok == "" {
+		t.Fatalf("login returned no token: %v", out)
+	}
+	c.token = tok
+	return c
+}
+
+// do issues one request and decodes the JSON response, asserting the
+// status code.
+func (c *jobsClient) do(method, path string, body any, want int) map[string]any {
+	c.t.Helper()
+	out, code := c.try(method, path, body)
+	if code != want {
+		c.t.Fatalf("%s %s = %d (want %d): %v", method, path, code, want, out)
+	}
+	return out
+}
+
+// try issues one request and returns the decoded response and code.
+func (c *jobsClient) try(method, path string, body any) (map[string]any, int) {
+	c.t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			c.t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, c.base+path, &buf)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return out, resp.StatusCode
+}
+
+// importApp registers a soak graph and returns its app ID.
+func (c *jobsClient) importApp(t *testing.T, i int) string {
+	t.Helper()
+	g := soakGraph(t, i)
+	data, err := g.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest("POST", c.base+"/apps/import", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+c.token)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	id, _ := out["id"].(string)
+	if resp.StatusCode != http.StatusCreated || id == "" {
+		t.Fatalf("import = %d %v", resp.StatusCode, out)
+	}
+	return id
+}
+
+// submitV1 posts to the versioned submit endpoint and returns the job ID.
+func (c *jobsClient) submitV1(t *testing.T, appID string, body any) string {
+	t.Helper()
+	out := c.do("POST", "/v1/apps/"+appID+"/submit", body, http.StatusAccepted)
+	job, _ := out["job"].(map[string]any)
+	id, _ := job["id"].(string)
+	if id == "" {
+		t.Fatalf("v1 submit returned no job id: %v", out)
+	}
+	return id
+}
+
+// jobStatus fetches GET /v1/jobs/{id}.
+func (c *jobsClient) jobStatus(t *testing.T, id string) map[string]any {
+	t.Helper()
+	out := c.do("GET", "/v1/jobs/"+id, nil, http.StatusOK)
+	job, _ := out["job"].(map[string]any)
+	if job == nil {
+		t.Fatalf("no job in response: %v", out)
+	}
+	return job
+}
+
+// waitState polls until the job reaches the state or the deadline hits.
+func (c *jobsClient) waitState(t *testing.T, id, state string, timeout time.Duration) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		job := c.jobStatus(t, id)
+		if job["state"] == state {
+			return job
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached %q; last status %v", id, state, job)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestHTTPPriorityOrderingEndToEnd is the acceptance scenario: under a
+// saturated admission queue, a job submitted through the editor's
+// POST /v1/apps/{id}/submit with high priority completes before
+// earlier-queued low-priority jobs, all observed over the HTTP surface.
+func TestHTTPPriorityOrderingEndToEnd(t *testing.T) {
+	env := saturatedEnv(t, 91, 0)
+	ts := httptest.NewServer(env.EditorServer(true, 0).Handler())
+	defer ts.Close()
+	c := newJobsClient(t, ts.URL, "user_k", "vdce")
+
+	const lows = 6
+	lowIDs := make([]string, 0, lows)
+	for i := 0; i < lows; i++ {
+		app := c.importApp(t, 1)
+		lowIDs = append(lowIDs, c.submitV1(t, app, map[string]any{"priority": 1}))
+	}
+	app := c.importApp(t, 3)
+	highID := c.submitV1(t, app, map[string]any{"priority": 100})
+
+	// The queue is saturated: the listing shows queued jobs with
+	// positions, and the high-priority job is in front of every queued
+	// low-priority one.
+	list := c.do("GET", "/v1/jobs?state=queued", nil, http.StatusOK)
+	queued, _ := list["jobs"].([]any)
+	if len(queued) < lows-2 {
+		t.Fatalf("expected a saturated queue, got %d queued jobs", len(queued))
+	}
+	var highPos float64 = -1
+	lowPositions := map[string]float64{}
+	for _, item := range queued {
+		job := item.(map[string]any)
+		pos, _ := job["queue_position"].(float64)
+		if job["id"] == highID {
+			highPos = pos
+		} else {
+			lowPositions[job["id"].(string)] = pos
+		}
+	}
+	for id, pos := range lowPositions {
+		if highPos >= 0 && pos < highPos {
+			t.Fatalf("low-priority job %s (pos %v) ahead of high-priority (pos %v)", id, pos, highPos)
+		}
+	}
+
+	env.Console.Resume()
+	high := c.waitState(t, highID, services.JobStateDone, 2*time.Minute)
+	highFinished, err := time.Parse(time.RFC3339Nano, high["finished_at"].(string))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every job that was still queued when the high-priority one arrived
+	// must have finished after it.
+	overtaken := 0
+	for _, id := range lowIDs {
+		low := c.waitState(t, id, services.JobStateDone, 2*time.Minute)
+		lowFinished, err := time.Parse(time.RFC3339Nano, low["finished_at"].(string))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lowFinished.After(highFinished) {
+			overtaken++
+		}
+	}
+	if overtaken < lows-2 {
+		t.Fatalf("high-priority HTTP submission overtook only %d of %d low-priority jobs", overtaken, lows)
+	}
+}
+
+// TestHTTPCancelQueuedAndRunning exercises DELETE /v1/jobs/{id} on both
+// a queued and a running job through the editor surface, plus the
+// owner-authorization and pagination rules.
+func TestHTTPCancelQueuedAndRunning(t *testing.T) {
+	env := saturatedEnv(t, 92, 0)
+	users := env.Sites[0].Repo.Users
+	if _, err := users.AddUser("rival", "secret", 3, repository.DomainGlobal); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(env.EditorServer(true, 0).Handler())
+	defer ts.Close()
+	c := newJobsClient(t, ts.URL, "user_k", "vdce")
+
+	// First job: runs immediately and parks at the suspended console.
+	runningID := c.submitV1(t, c.importApp(t, 1), nil)
+	// Backlog so the next jobs stay queued.
+	c.submitV1(t, c.importApp(t, 1), map[string]any{"priority": 10})
+	queuedID := c.submitV1(t, c.importApp(t, 1), nil)
+
+	// Unauthenticated and unauthorized access.
+	anon := &jobsClient{t: t, base: ts.URL}
+	if _, code := anon.try("GET", "/v1/jobs", nil); code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated /v1/jobs = %d, want 401", code)
+	}
+	rival := newJobsClient(t, ts.URL, "rival", "secret")
+	if _, code := rival.try("DELETE", "/v1/jobs/"+queuedID, nil); code != http.StatusForbidden {
+		t.Fatalf("cross-owner cancel = %d, want 403", code)
+	}
+	if _, code := c.try("DELETE", "/v1/jobs/job-404", nil); code != http.StatusNotFound {
+		t.Fatalf("cancel unknown job = %d, want 404", code)
+	}
+
+	// Cancel the queued job: it is dropped without ever starting.
+	out := c.do("DELETE", "/v1/jobs/"+queuedID, nil, http.StatusOK)
+	job, _ := out["job"].(map[string]any)
+	if job["state"] != services.JobStateCanceled {
+		t.Fatalf("canceled queued job state = %v, want canceled", job["state"])
+	}
+
+	// Cancel the running job: it aborts through the engine.
+	c.waitState(t, runningID, services.JobStateRunning, 30*time.Second)
+	c.do("DELETE", "/v1/jobs/"+runningID, nil, http.StatusOK)
+	got := c.waitState(t, runningID, services.JobStateCanceled, 30*time.Second)
+	if got["error"] == "" {
+		t.Fatal("canceled running job reports no error")
+	}
+
+	// Pagination is deterministic: two pages of one cover the two
+	// canceled jobs without overlap.
+	list := c.do("GET", "/v1/jobs?state=canceled&limit=1", nil, http.StatusOK)
+	first, _ := list["jobs"].([]any)
+	list2 := c.do("GET", "/v1/jobs?state=canceled&limit=1&offset=1", nil, http.StatusOK)
+	second, _ := list2["jobs"].([]any)
+	if len(first) != 1 || len(second) != 1 {
+		t.Fatalf("pagination pages = %d, %d entries; want 1 and 1", len(first), len(second))
+	}
+	a := first[0].(map[string]any)["id"]
+	b := second[0].(map[string]any)["id"]
+	if a == b {
+		t.Fatalf("pagination returned the same job twice: %v", a)
+	}
+	if total, _ := list["total"].(float64); total != 2 {
+		t.Fatalf("canceled total = %v, want 2", total)
+	}
+
+	env.Console.Resume()
+	drainCtx, cancel := contextWithTimeout(2 * time.Minute)
+	defer cancel()
+	if err := env.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHTTPDeadlineSubmit verifies deadline_ms flows through the v1
+// submit endpoint: a queued job past its deadline never runs.
+func TestHTTPDeadlineSubmit(t *testing.T) {
+	env := saturatedEnv(t, 93, 0)
+	ts := httptest.NewServer(env.EditorServer(true, 0).Handler())
+	defer ts.Close()
+	c := newJobsClient(t, ts.URL, "user_k", "vdce")
+
+	// Saturate, then submit with a deadline that expires while queued.
+	c.submitV1(t, c.importApp(t, 1), map[string]any{"priority": 10})
+	c.submitV1(t, c.importApp(t, 1), map[string]any{"priority": 10})
+	doomedID := c.submitV1(t, c.importApp(t, 1), map[string]any{"deadline_ms": 30})
+	if _, code := c.try("POST", "/v1/apps/"+c.importApp(t, 1)+"/submit",
+		map[string]any{"deadline_ms": -5}); code != http.StatusBadRequest {
+		t.Fatalf("negative deadline_ms accepted: %d", code)
+	}
+	time.Sleep(60 * time.Millisecond)
+	env.Console.Resume()
+	got := c.waitState(t, doomedID, services.JobStateFailed, 2*time.Minute)
+	if got["error"] == "" {
+		t.Fatal("deadline-expired job reports no error")
+	}
+	drainCtx, cancel := contextWithTimeout(2 * time.Minute)
+	defer cancel()
+	if err := env.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// contextWithTimeout is a tiny helper keeping test deadlines uniform.
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}

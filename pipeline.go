@@ -21,9 +21,9 @@ type PipelineConfig struct {
 	QueueDepth int
 	// SchedulerWorkers is how many scheduler workers run core.Scheduler
 	// rounds concurrently. Each job carries a home site — round-robin
-	// across sites for Submit, the submitting site for SubmitOwned — so
-	// concurrent rounds spread across sites regardless of worker count.
-	// Default 4.
+	// across sites for anonymous submissions, the submitting site for
+	// owned ones — so concurrent rounds spread across sites regardless of
+	// worker count. Default 4.
 	SchedulerWorkers int
 	// MaxConcurrentRuns bounds how many applications the execution engine
 	// runs simultaneously. Default 2 * SchedulerWorkers.
@@ -32,6 +32,11 @@ type PipelineConfig struct {
 	// board remember; the oldest *terminal* jobs are evicted first, so a
 	// long-running server does not grow without bound. Default 1024.
 	MaxRetainedJobs int
+	// AgingStep is the starvation-protection rate of the priority
+	// admission queue: a queued job's effective priority rises by one
+	// level per AgingStep of waiting, so a low-priority job eventually
+	// overtakes a stream of higher-priority arrivals. Default 30s.
+	AgingStep time.Duration
 }
 
 func (c *PipelineConfig) fillDefaults() {
@@ -46,6 +51,9 @@ func (c *PipelineConfig) fillDefaults() {
 	}
 	if c.MaxRetainedJobs <= 0 {
 		c.MaxRetainedJobs = 1024
+	}
+	if c.AgingStep <= 0 {
+		c.AgingStep = 30 * time.Second
 	}
 }
 
@@ -64,6 +72,10 @@ const (
 	JobDone
 	// JobFailed: scheduling or execution failed permanently; Err is set.
 	JobFailed
+	// JobCanceled: the job was canceled — dropped from the admission
+	// queue if it had not started, aborted through the execution engine's
+	// cancellation path if it had. Err is ErrJobCanceled.
+	JobCanceled
 )
 
 // String returns the services-layer state name.
@@ -79,12 +91,101 @@ func (s JobState) String() string {
 		return services.JobStateDone
 	case JobFailed:
 		return services.JobStateFailed
+	case JobCanceled:
+		return services.JobStateCanceled
 	default:
 		return fmt.Sprintf("JobState(%d)", int32(s))
 	}
 }
 
+// Pipeline errors.
+var (
+	// ErrPipelineClosed is returned by Submit after the environment shut
+	// down.
+	ErrPipelineClosed = errors.New("vdce: submission pipeline closed")
+	// ErrJobCanceled is the terminal error of a job ended by Cancel.
+	ErrJobCanceled = errors.New("vdce: job canceled")
+	// ErrJobDeadlineExceeded is the terminal error of a job whose
+	// WithDeadline expired before it could finish. Deadline-expired
+	// queued jobs are dropped before they reach a scheduler worker.
+	ErrJobDeadlineExceeded = errors.New("vdce: job deadline exceeded")
+)
+
+// SubmitOption configures one submission. Options compose left to right;
+// later options win on conflict.
+type SubmitOption func(*submitOptions)
+
+type submitOptions struct {
+	owner    string
+	priority *int
+	deadline time.Time
+	home     int // -1 = round-robin (or site 0 for owned jobs)
+	maxHosts int
+	labels   map[string]string
+}
+
+// WithOwner submits on behalf of a named user: the job schedules from
+// the accounts site (site 0) unless WithHomeSite overrides it, the
+// owner's access domain clamps the neighbor-site count exactly as in the
+// one-shot path, and — unless WithPriority overrides it — the job's
+// priority defaults to the owner's user-account priority.
+func WithOwner(owner string) SubmitOption {
+	return func(o *submitOptions) { o.owner = owner }
+}
+
+// WithPriority sets the job's base admission priority explicitly. Higher
+// values are admitted first; equal effective priorities dequeue FIFO.
+// Without it, owned jobs inherit the owner's user-account priority and
+// anonymous jobs default to 0.
+func WithPriority(p int) SubmitOption {
+	return func(o *submitOptions) { o.priority = &p }
+}
+
+// WithDeadline bounds the job's whole lifetime: a job still queued at the
+// deadline is dropped before it reaches a scheduler worker, and a running
+// job is aborted through the execution engine's cancellation path. The
+// terminal error is ErrJobDeadlineExceeded.
+func WithDeadline(t time.Time) SubmitOption {
+	return func(o *submitOptions) { o.deadline = t }
+}
+
+// WithHomeSite pins the scheduling round to site index i instead of the
+// default (round-robin for anonymous jobs, site 0 for owned jobs).
+func WithHomeSite(i int) SubmitOption {
+	return func(o *submitOptions) { o.home = i }
+}
+
+// WithMaxHosts sets k, the scheduler's nearest-neighbor site count
+// (Fig. 2 step 2): how far beyond the home site the job's tasks may be
+// placed. Owned jobs still have k clamped by the owner's access domain.
+// Default 0 (home site only).
+func WithMaxHosts(k int) SubmitOption {
+	return func(o *submitOptions) { o.maxHosts = k }
+}
+
+// WithLabels attaches caller metadata to the job; labels are carried on
+// the Job handle and surfaced verbatim by the job-control API.
+func WithLabels(labels map[string]string) SubmitOption {
+	return func(o *submitOptions) {
+		if o.labels == nil {
+			o.labels = make(map[string]string, len(labels))
+		}
+		for k, v := range labels {
+			o.labels[k] = v
+		}
+	}
+}
+
 // Job is one application moving through the submission pipeline.
+//
+// Lifecycle contract: Done returns a channel that is closed exactly once,
+// when the job reaches a terminal state (done, failed, or canceled); no
+// state transitions happen after it closes. Wait blocks on that channel
+// and returns the job's own terminal error — nil for success,
+// ErrJobCanceled after Cancel, ErrJobDeadlineExceeded after a deadline
+// expiry, the scheduling/execution error otherwise. When Wait's ctx ends
+// first, Wait returns the ctx error, but a job that is already terminal
+// always reports its own error even if ctx is also done.
 type Job struct {
 	// ID is the pipeline-assigned identifier ("job-<n>").
 	ID string
@@ -92,24 +193,41 @@ type Job struct {
 	Owner string
 	// Graph is the application flow graph being scheduled and executed.
 	Graph *afg.Graph
-	// K is the neighbor-site count used for the job's scheduling round.
+	// K is the neighbor-site count used for the job's scheduling round
+	// (WithMaxHosts after any access-domain clamp).
 	K int
+	// Labels is the caller metadata attached with WithLabels (may be nil).
+	Labels map[string]string
 
-	// home is the site index the scheduling round runs from: the
-	// submitting site for owned jobs (access-domain clamps are relative
-	// to it), round-robin across sites for anonymous submissions.
-	home  int
-	board *services.JobBoard
-	done  chan struct{}
+	// home is the site index the scheduling round runs from.
+	home int
+	// priority is the base admission priority; the effective priority
+	// ages upward while the job waits (see admitQueue).
+	priority int
+	// deadline bounds the job's lifetime; zero means none.
+	deadline time.Time
+	// enqueued is when the job entered the admission queue.
+	enqueued time.Time
+	board    *services.JobBoard
+	pipe     *pipeline
+	done     chan struct{}
+	// cancelCh closes on the first Cancel call, unblocking dispatch waits.
+	cancelCh chan struct{}
+	// expiry fires while the job is still queued at its deadline, so an
+	// expired job releases its queue slot and its waiters immediately
+	// instead of lingering until a worker pops it.
+	expiry *time.Timer
 
-	mu        sync.Mutex
-	state     JobState
-	table     *core.AllocationTable
-	result    *exec.Result
-	err       error
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
+	mu              sync.Mutex
+	state           JobState
+	cancelRequested bool
+	runCancel       context.CancelFunc
+	table           *core.AllocationTable
+	result          *exec.Result
+	err             error
+	submitted       time.Time
+	started         time.Time
+	finished        time.Time
 }
 
 // State returns the job's current lifecycle state.
@@ -118,6 +236,12 @@ func (j *Job) State() JobState {
 	defer j.mu.Unlock()
 	return j.state
 }
+
+// Priority returns the job's base admission priority.
+func (j *Job) Priority() int { return j.priority }
+
+// Deadline returns the job's deadline and whether one was set.
+func (j *Job) Deadline() (time.Time, bool) { return j.deadline, !j.deadline.IsZero() }
 
 // Table returns the resource allocation table once scheduling finished,
 // else nil.
@@ -134,44 +258,164 @@ func (j *Job) Result() *exec.Result {
 	return j.result
 }
 
-// Err returns the terminal error of a failed job, else nil.
+// Err returns the terminal error of a failed or canceled job, else nil.
 func (j *Job) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
 }
 
-// Done returns a channel closed when the job reaches a terminal state.
+// Done returns a channel closed when the job reaches a terminal state
+// (done, failed, or canceled). After it closes, State, Err, Table, and
+// Result are final.
 func (j *Job) Done() <-chan struct{} { return j.done }
 
 // Wait blocks until the job reaches a terminal state or ctx ends. It
-// returns the job's terminal error (nil when the job succeeded).
+// returns the job's own terminal error (nil when the job succeeded,
+// ErrJobCanceled / ErrJobDeadlineExceeded for canceled and expired jobs);
+// a job that is already terminal reports its own error even when ctx is
+// also done. Only when ctx ends while the job is still in flight does
+// Wait return the ctx error.
 func (j *Job) Wait(ctx context.Context) error {
 	select {
-	case <-ctx.Done():
-		return ctx.Err()
 	case <-j.done:
 		return j.Err()
+	default:
+	}
+	select {
+	case <-j.done:
+		return j.Err()
+	case <-ctx.Done():
+		// The job may have finished in the same instant; prefer its own
+		// terminal error over the ctx error.
+		select {
+		case <-j.done:
+			return j.Err()
+		default:
+		}
+		return ctx.Err()
 	}
 }
 
-// Status snapshots the job for the monitoring board.
+// Cancel requests cancellation. A queued job is dropped from the
+// admission queue immediately; a scheduling or running job is aborted
+// through the execution engine's cancellation path and terminalizes
+// shortly after. Canceling a terminal job is a no-op. The terminal state
+// is JobCanceled with Err() == ErrJobCanceled.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	if j.state == JobDone || j.state == JobFailed || j.state == JobCanceled {
+		j.mu.Unlock()
+		return
+	}
+	already := j.cancelRequested
+	j.cancelRequested = true
+	if !already {
+		close(j.cancelCh)
+	}
+	queued := j.state == JobQueued
+	cancel := j.runCancel
+	j.mu.Unlock()
+	if queued {
+		// Drop it from the admission queue eagerly, freeing its slot. If
+		// a worker popped it first, the worker's claim check observes the
+		// cancel request instead and exactly one of us terminalizes.
+		if j.pipe != nil && j.pipe.admit.remove(j.ID) {
+			j.pipe.releaseSlot()
+		}
+		j.terminalize(JobCanceled, ErrJobCanceled, nil)
+		return
+	}
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// Status snapshots the job for the monitoring board and the job-control
+// API. Queued jobs carry their live admission-queue position.
 func (j *Job) Status() services.JobStatus {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	s := services.JobStatus{
 		ID:          j.ID,
 		App:         j.Graph.Name,
 		Owner:       j.Owner,
 		State:       j.state.String(),
+		Priority:    j.priority,
+		Labels:      j.Labels,
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
 		FinishedAt:  j.finished,
 	}
+	if !j.deadline.IsZero() {
+		s.Deadline = j.deadline
+	}
 	if j.err != nil {
 		s.Error = j.err.Error()
 	}
+	queued := j.state == JobQueued
+	j.mu.Unlock()
+	if queued && j.pipe != nil {
+		s.QueuePosition = j.pipe.admit.position(j.ID)
+	}
 	return s
+}
+
+// expireQueued is the deadline timer's callback: a job still queued at
+// its deadline is dropped — removed from the admission queue, its slot
+// released — exactly like an eager Cancel, but terminalizing as failed
+// with ErrJobDeadlineExceeded. Jobs already claimed by a worker are
+// covered by the run context's deadline instead.
+func (j *Job) expireQueued() {
+	j.mu.Lock()
+	if j.state != JobQueued || j.cancelRequested {
+		j.mu.Unlock()
+		return
+	}
+	j.mu.Unlock()
+	if j.pipe != nil && j.pipe.admit.remove(j.ID) {
+		j.pipe.releaseSlot()
+	}
+	j.terminalize(JobFailed, ErrJobDeadlineExceeded, nil)
+}
+
+// claimForScheduling atomically moves a popped job from queued to
+// scheduling. It returns false — terminalizing the job as appropriate —
+// when the job was canceled while queued or its deadline already
+// expired, so such jobs never reach a scheduling round.
+func (j *Job) claimForScheduling() bool {
+	j.mu.Lock()
+	if j.state != JobQueued {
+		// Cancel terminalized it between pop and claim.
+		j.mu.Unlock()
+		return false
+	}
+	if j.cancelRequested {
+		j.mu.Unlock()
+		j.terminalize(JobCanceled, ErrJobCanceled, nil)
+		return false
+	}
+	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+		j.mu.Unlock()
+		j.terminalize(JobFailed, ErrJobDeadlineExceeded, nil)
+		return false
+	}
+	j.state = JobScheduling
+	j.mu.Unlock()
+	j.publish()
+	return true
+}
+
+// setRunCancel installs the running phase's cancel function. It returns
+// false when cancellation was already requested, in which case the
+// caller must not start the execution.
+func (j *Job) setRunCancel(c context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cancelRequested {
+		return false
+	}
+	j.runCancel = c
+	return true
 }
 
 // transition moves the job to a non-terminal state and publishes it.
@@ -192,27 +436,34 @@ func (j *Job) setTable(t *core.AllocationTable) {
 	j.mu.Unlock()
 }
 
-// complete marks the job done with its execution result.
-func (j *Job) complete(res *exec.Result) {
+// terminalize moves the job to a terminal state exactly once; later
+// calls (a Cancel racing a worker, shutdown racing a deadline) are
+// no-ops. It reports whether this call won.
+func (j *Job) terminalize(state JobState, err error, res *exec.Result) bool {
 	j.mu.Lock()
-	j.state = JobDone
+	if j.state == JobDone || j.state == JobFailed || j.state == JobCanceled {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = state
+	j.err = err
 	j.result = res
 	j.finished = time.Now()
+	expiry := j.expiry
 	j.mu.Unlock()
+	if expiry != nil {
+		expiry.Stop()
+	}
 	j.publish()
 	close(j.done)
+	return true
 }
 
-// fail marks the job failed. It is safe to call at most once.
-func (j *Job) fail(err error) {
-	j.mu.Lock()
-	j.state = JobFailed
-	j.err = err
-	j.finished = time.Now()
-	j.mu.Unlock()
-	j.publish()
-	close(j.done)
-}
+// complete marks the job done with its execution result.
+func (j *Job) complete(res *exec.Result) { j.terminalize(JobDone, nil, res) }
+
+// fail marks the job failed.
+func (j *Job) fail(err error) { j.terminalize(JobFailed, err, nil) }
 
 func (j *Job) publish() {
 	if j.board != nil {
@@ -220,22 +471,17 @@ func (j *Job) publish() {
 	}
 }
 
-// Pipeline errors.
-var (
-	// ErrPipelineClosed is returned by Submit after the environment shut
-	// down.
-	ErrPipelineClosed = errors.New("vdce: submission pipeline closed")
-)
-
 // pipeline is the multi-tenant submission machinery behind
-// Environment.Submit: a bounded admission queue, a pool of scheduler
-// workers sharded across home sites, and a bounded concurrent dispatch
-// path into the shared execution engine.
+// Environment.Submit: a bounded priority admission queue with aging, a
+// pool of scheduler workers sharded across home sites, and a bounded
+// concurrent dispatch path into the shared execution engine.
 type pipeline struct {
 	env    *Environment
 	cfg    PipelineConfig
 	ctx    context.Context
-	queue  chan *Job
+	admit  *admitQueue
+	slots  chan struct{} // queue-capacity semaphore (cap QueueDepth)
+	notify chan struct{} // wakes idle workers after pushes (cap QueueDepth)
 	runSem chan struct{}
 	start  time.Time
 
@@ -251,7 +497,8 @@ type pipeline struct {
 	mu       sync.Mutex
 	nextID   int
 	nextHome int
-	jobs     []*Job // every retained job, in submission order
+	jobs     []*Job          // every retained job, in submission order
+	byID     map[string]*Job // retained jobs indexed for the job API
 	closed   bool
 }
 
@@ -267,13 +514,19 @@ type siteSvc struct {
 func startPipeline(ctx context.Context, env *Environment, cfg PipelineConfig) *pipeline {
 	cfg.fillDefaults()
 	p := &pipeline{
-		env:    env,
-		cfg:    cfg,
-		ctx:    ctx,
-		queue:  make(chan *Job, cfg.QueueDepth),
+		env:   env,
+		cfg:   cfg,
+		ctx:   ctx,
+		admit: newAdmitQueue(cfg.AgingStep),
+		slots: make(chan struct{}, cfg.QueueDepth),
+		// One wakeup token per possible queued job: a lost wakeup could
+		// otherwise leave a job queued while a worker sleeps. Stale tokens
+		// only cost an idle worker one empty pop.
+		notify: make(chan struct{}, cfg.QueueDepth),
 		runSem: make(chan struct{}, cfg.MaxConcurrentRuns),
 		start:  time.Now(),
 		svc:    make(map[int]*siteSvc),
+		byID:   make(map[string]*Job),
 	}
 	for w := 0; w < cfg.SchedulerWorkers; w++ {
 		p.workerWG.Add(1)
@@ -282,53 +535,104 @@ func startPipeline(ctx context.Context, env *Environment, cfg PipelineConfig) *p
 	return p
 }
 
-// submit admits a job into the queue, blocking while it is full. home
-// is the site index the scheduling round runs from; home < 0 picks
-// sites round-robin (anonymous load spreading).
-func (p *pipeline) submit(ctx context.Context, owner string, g *afg.Graph, k, home int) (*Job, error) {
-	if err := g.Validate(); err != nil {
+// submitSpec is a fully resolved submission (options applied).
+type submitSpec struct {
+	owner    string
+	graph    *afg.Graph
+	k        int
+	home     int // < 0 picks sites round-robin
+	priority int
+	deadline time.Time
+	labels   map[string]string
+}
+
+// submit admits a job into the priority queue, blocking while it is
+// full.
+func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
+	if err := spec.graph.Validate(); err != nil {
 		return nil, err
 	}
-	if home >= len(p.env.Sites) {
-		return nil, fmt.Errorf("vdce: no site %d", home)
+	if spec.home >= len(p.env.Sites) {
+		return nil, fmt.Errorf("vdce: no site %d", spec.home)
 	}
+	if !spec.deadline.IsZero() && !time.Now().Before(spec.deadline) {
+		return nil, ErrJobDeadlineExceeded
+	}
+	now := time.Now()
 	job := &Job{
-		Owner:     owner,
-		Graph:     g,
-		K:         k,
+		Owner:     spec.owner,
+		Graph:     spec.graph,
+		K:         spec.k,
+		Labels:    spec.labels,
+		priority:  spec.priority,
+		deadline:  spec.deadline,
+		enqueued:  now,
 		board:     p.env.Board,
+		pipe:      p,
 		done:      make(chan struct{}),
+		cancelCh:  make(chan struct{}),
 		state:     JobQueued,
-		submitted: time.Now(),
+		submitted: now,
 	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
 		return nil, ErrPipelineClosed
 	}
-	if home < 0 {
-		home = p.nextHome
+	if spec.home < 0 {
+		spec.home = p.nextHome
 		p.nextHome = (p.nextHome + 1) % len(p.env.Sites)
 	}
-	job.home = home
+	job.home = spec.home
 	p.nextID++
 	job.ID = fmt.Sprintf("job-%d", p.nextID)
 	p.jobs = append(p.jobs, job)
+	p.byID[job.ID] = job
 	p.mu.Unlock()
 	p.pruneRetained()
 	job.publish()
 	p.gauge()
+	// Reserve a queue slot (backpressure), then enqueue. The job is
+	// visible on the board while its submitter waits, exactly like a
+	// sender blocked on a full channel.
 	select {
-	case p.queue <- job:
-		return job, nil
+	case p.slots <- struct{}{}:
+		// A cancel may have landed in the same instant the slot freed
+		// (select picks ready cases at random): never enqueue a job that
+		// is already terminal.
+		if job.canceled() {
+			p.releaseSlot()
+			return nil, ErrJobCanceled
+		}
 	case <-ctx.Done():
-		job.fail(ctx.Err())
+		job.terminalize(JobFailed, ctx.Err(), nil)
 		return nil, ctx.Err()
 	case <-p.ctx.Done():
-		job.fail(ErrPipelineClosed)
+		job.terminalize(JobFailed, ErrPipelineClosed, nil)
 		return nil, ErrPipelineClosed
+	case <-job.cancelCh:
+		// Cancel won while we waited for capacity; the job is terminal.
+		return nil, ErrJobCanceled
 	}
+	p.admit.push(job)
+	if !job.deadline.IsZero() {
+		// Drop the job at its deadline if it is still queued then, so it
+		// does not pin a queue slot or block Wait callers until a worker
+		// happens to pop it.
+		job.mu.Lock()
+		job.expiry = time.AfterFunc(time.Until(job.deadline), job.expireQueued)
+		job.mu.Unlock()
+	}
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+	return job, nil
 }
+
+// releaseSlot returns one unit of queue capacity after a job leaves the
+// admission queue (popped by a worker or removed by Cancel).
+func (p *pipeline) releaseSlot() { <-p.slots }
 
 // services resolves the scheduling services for home site i, caching
 // successes. Concurrent rounds from different home sites share nothing
@@ -360,17 +664,27 @@ func (p *pipeline) services(home int) (*siteSvc, error) {
 	return s, nil
 }
 
-// worker pulls admitted jobs and runs their scheduling rounds, each
-// from the job's home site.
+// worker pulls the highest-priority admitted job and runs its scheduling
+// round from the job's home site.
 func (p *pipeline) worker() {
 	defer p.workerWG.Done()
 	for {
 		select {
 		case <-p.ctx.Done():
 			return
-		case job := <-p.queue:
-			p.process(job)
+		default:
 		}
+		job := p.admit.pop()
+		if job == nil {
+			select {
+			case <-p.ctx.Done():
+				return
+			case <-p.notify:
+			}
+			continue
+		}
+		p.releaseSlot()
+		p.process(job)
 	}
 }
 
@@ -379,7 +693,12 @@ func (p *pipeline) worker() {
 // a goroutine gated by the run semaphore so the worker can keep
 // scheduling while earlier jobs still execute.
 func (p *pipeline) process(job *Job) {
-	job.transition(JobScheduling)
+	// Canceled and deadline-expired queued jobs are dropped here, before
+	// any scheduling work happens.
+	if !job.claimForScheduling() {
+		p.gauge()
+		return
+	}
 	p.gauge()
 	svc, err := p.services(job.home)
 	if err != nil {
@@ -411,23 +730,65 @@ func (p *pipeline) process(job *Job) {
 	// remains in the scheduling state (it is still in a worker's hands).
 	select {
 	case p.runSem <- struct{}{}:
+	case <-job.cancelCh:
+		job.terminalize(JobCanceled, ErrJobCanceled, nil)
+		p.gauge()
+		return
 	case <-p.ctx.Done():
 		job.fail(ErrPipelineClosed)
 		p.gauge()
 		return
 	}
-	go func() {
-		defer func() { <-p.runSem }()
-		job.transition(JobRunning)
-		p.gauge()
-		res, err := p.env.Engine.Execute(p.ctx, job.Graph, table)
-		if err != nil {
-			job.fail(err)
-		} else {
-			job.complete(res)
+	go p.execute(job, table)
+}
+
+// execute runs the job's task graph under its own cancelable (and
+// deadline-bounded, when WithDeadline was given) context, then
+// terminalizes it.
+func (p *pipeline) execute(job *Job, table *core.AllocationTable) {
+	defer func() { <-p.runSem }()
+	runCtx := p.ctx
+	var cancels []context.CancelFunc
+	if !job.deadline.IsZero() {
+		ctx, cancel := context.WithDeadline(runCtx, job.deadline)
+		runCtx, cancels = ctx, append(cancels, cancel)
+	}
+	runCtx, cancel := context.WithCancel(runCtx)
+	cancels = append(cancels, cancel)
+	defer func() {
+		for _, c := range cancels {
+			c()
 		}
-		p.gauge()
 	}()
+	if !job.setRunCancel(cancel) {
+		job.terminalize(JobCanceled, ErrJobCanceled, nil)
+		p.gauge()
+		return
+	}
+	job.transition(JobRunning)
+	p.gauge()
+	res, err := p.env.Engine.Execute(runCtx, job.Graph, table)
+	switch {
+	case err == nil:
+		job.complete(res)
+	case job.canceled():
+		job.terminalize(JobCanceled, ErrJobCanceled, nil)
+	case errors.Is(runCtx.Err(), context.DeadlineExceeded):
+		job.terminalize(JobFailed, fmt.Errorf("%w: %v", ErrJobDeadlineExceeded, err), nil)
+	default:
+		job.fail(err)
+	}
+	p.gauge()
+}
+
+// canceled reports whether Cancel has been requested.
+func (j *Job) canceled() bool {
+	select {
+	case <-j.cancelCh:
+		return true
+	default:
+		return false
+	}
 }
 
 // gauge mirrors the in-flight job count into the visualization service,
@@ -448,18 +809,13 @@ func (p *pipeline) stop() {
 	p.mu.Unlock()
 	p.workerWG.Wait()
 	// Workers are gone; anything left in the queue will never be
-	// scheduled. A submitter racing with shutdown may still deliver into
-	// the queue after a drain pass, so keep draining until every admitted
-	// job has reached a terminal state.
+	// scheduled. A submitter racing with shutdown may still enqueue after
+	// a drain pass, so keep draining until every admitted job has reached
+	// a terminal state.
 	for {
-		for {
-			select {
-			case job := <-p.queue:
-				job.fail(ErrPipelineClosed)
-				continue
-			default:
-			}
-			break
+		for job := p.admit.pop(); job != nil; job = p.admit.pop() {
+			p.releaseSlot()
+			job.terminalize(JobFailed, ErrPipelineClosed, nil)
 		}
 		if p.allSettled() {
 			return
@@ -483,6 +839,7 @@ func (p *pipeline) pruneRetained() {
 				select {
 				case <-j.done:
 					evicted = append(evicted, j.ID)
+					delete(p.byID, j.ID)
 					over--
 					continue
 				default:
@@ -513,39 +870,124 @@ func (p *pipeline) allSettled() bool {
 	return true
 }
 
+// job returns a retained job handle by ID.
+func (p *pipeline) job(id string) (*Job, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.byID[id]
+	return j, ok
+}
+
+// snapshot returns every retained job handle in submission order.
+func (p *pipeline) snapshot() []*Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]*Job(nil), p.jobs...)
+}
+
 // Submit admits an application into the environment's concurrent
-// submission pipeline and returns its Job handle immediately. The job
-// is scheduled by the worker pool — home sites rotate round-robin so
-// concurrent rounds shard across sites — and executed on the shared
-// testbed; use Job.Wait or Job.Done to observe completion. Submit
-// blocks only while the bounded admission queue is full (backpressure),
-// honoring ctx.
-func (env *Environment) Submit(ctx context.Context, g *afg.Graph, k int) (*Job, error) {
-	return env.pipe.submit(ctx, "", g, k, -1)
+// submission pipeline and returns its Job handle immediately. Functional
+// options carry the submission's owner, priority, deadline, home site,
+// neighbor-site count, and labels; the zero configuration is an
+// anonymous, priority-0, home-site-only submission with round-robin home
+// sites. Jobs dequeue by effective priority — the base priority aged
+// upward while the job waits, so no submission starves — and are
+// executed on the shared testbed; use Job.Wait or Job.Done to observe
+// completion and Job.Cancel to abort. Submit blocks only while the
+// bounded admission queue is full (backpressure), honoring ctx.
+func (env *Environment) Submit(ctx context.Context, g *afg.Graph, opts ...SubmitOption) (*Job, error) {
+	o := submitOptions{home: -1}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	spec := submitSpec{
+		owner:    o.owner,
+		graph:    g,
+		k:        o.maxHosts,
+		home:     o.home,
+		deadline: o.deadline,
+		labels:   o.labels,
+	}
+	if o.owner != "" {
+		if spec.home < 0 {
+			spec.home = 0 // the accounts site, as in the one-shot owned path
+		}
+		spec.k = env.ClampK(o.owner, spec.k)
+	}
+	switch {
+	case o.priority != nil:
+		spec.priority = *o.priority
+	case o.owner != "":
+		if acct, err := env.Sites[0].Repo.Users.Lookup(o.owner); err == nil {
+			spec.priority = acct.Priority
+		}
+	}
+	return env.pipe.submit(ctx, spec)
 }
 
-// SubmitOwned is Submit for a named user at the submitting site
-// (site 0, where the accounts live): the owner's access domain clamps
-// the neighbor-site count exactly as in the one-shot path, so local
-// users stay on the submitting site and campus users reach at most its
-// two nearest neighbors.
+// SubmitOwned is a thin wrapper over Submit for a named user at the
+// submitting site.
+//
+// Deprecated: use Submit with WithOwner and WithMaxHosts, which also
+// expose priority, deadline, and cancellation:
+//
+//	env.Submit(ctx, g, WithOwner(owner), WithMaxHosts(k))
 func (env *Environment) SubmitOwned(ctx context.Context, owner string, g *afg.Graph, k int) (*Job, error) {
-	return env.pipe.submit(ctx, owner, g, env.ClampK(owner, k), 0)
+	return env.Submit(ctx, g, WithOwner(owner), WithMaxHosts(k))
 }
 
-// Jobs returns the status of every submitted job in submission order.
+// Jobs returns the status of every submitted job in stable order
+// (submission time, then ID).
 func (env *Environment) Jobs() []services.JobStatus {
 	return env.Board.List()
+}
+
+// ListJobs returns live job statuses filtered by owner and state (empty
+// strings match everything), in stable (submission time, then ID) order.
+// Unlike the board's snapshots, queued jobs carry their current
+// admission-queue position.
+func (env *Environment) ListJobs(owner, state string) []services.JobStatus {
+	jobs := env.pipe.snapshot()
+	out := make([]services.JobStatus, 0, len(jobs))
+	for _, j := range jobs {
+		if s := j.Status(); s.Matches(owner, state) {
+			out = append(out, s)
+		}
+	}
+	services.SortJobs(out)
+	return out
+}
+
+// Job returns the live status of one submitted job.
+func (env *Environment) Job(id string) (services.JobStatus, bool) {
+	if j, ok := env.pipe.job(id); ok {
+		return j.Status(), true
+	}
+	// Evicted jobs may linger on the board a moment longer.
+	return env.Board.Get(id)
+}
+
+// ErrUnknownJob is returned by CancelJob for IDs the pipeline does not
+// retain.
+var ErrUnknownJob = errors.New("vdce: unknown job")
+
+// CancelJob cancels the identified job: queued jobs are dropped from the
+// admission queue, running jobs are aborted through the execution
+// engine's cancellation path. Canceling a terminal job is a no-op.
+func (env *Environment) CancelJob(id string) error {
+	j, ok := env.pipe.job(id)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	j.Cancel()
+	return nil
 }
 
 // Drain blocks until every job admitted so far has reached a terminal
 // state, or ctx ends. Jobs submitted after Drain starts are not waited
 // for.
 func (env *Environment) Drain(ctx context.Context) error {
-	env.pipe.mu.Lock()
-	jobs := append([]*Job(nil), env.pipe.jobs...)
-	env.pipe.mu.Unlock()
-	for _, j := range jobs {
+	for _, j := range env.pipe.snapshot() {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()

@@ -56,7 +56,7 @@ func TestConcurrentSubmissionSoak(t *testing.T) {
 	errs := make(chan error, jobs)
 	for i := 0; i < jobs; i++ {
 		g := soakGraph(t, i)
-		job, err := env.Submit(ctx, g, 2)
+		job, err := env.Submit(ctx, g, WithMaxHosts(2))
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
@@ -129,7 +129,7 @@ func TestConcurrentSubmissionOverRPC(t *testing.T) {
 	})
 	ctx := context.Background()
 	for i := 0; i < jobs; i++ {
-		if _, err := env.Submit(ctx, soakGraph(t, i), 2); err != nil {
+		if _, err := env.Submit(ctx, soakGraph(t, i), WithMaxHosts(2)); err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 	}
@@ -145,9 +145,9 @@ func TestConcurrentSubmissionOverRPC(t *testing.T) {
 	}
 }
 
-// TestSubmitOwnedRespectsAccessDomain checks that a local-domain user's
+// TestOwnedSubmitRespectsAccessDomain checks that a local-domain user's
 // pipelined submission never leaves the home sites.
-func TestSubmitOwnedRespectsAccessDomain(t *testing.T) {
+func TestOwnedSubmitRespectsAccessDomain(t *testing.T) {
 	env := newEnv(t, Config{
 		Testbed: testbed.Config{Sites: 3, HostsPerGroup: 2, Seed: 33},
 	})
@@ -156,7 +156,7 @@ func TestSubmitOwnedRespectsAccessDomain(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := soakGraph(t, 1)
-	job, err := env.SubmitOwned(context.Background(), "loc", g, 2)
+	job, err := env.Submit(context.Background(), g, WithOwner("loc"), WithMaxHosts(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestPipelineRetentionBound(t *testing.T) {
 	})
 	ctx := context.Background()
 	for i := 0; i < 10; i++ {
-		job, err := env.Submit(ctx, soakGraph(t, 1), 0)
+		job, err := env.Submit(ctx, soakGraph(t, 1))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -207,7 +207,7 @@ func TestPipelineRetentionBound(t *testing.T) {
 // TestSubmitRejectsInvalidGraph verifies admission-time validation.
 func TestSubmitRejectsInvalidGraph(t *testing.T) {
 	env := newEnv(t, Config{Testbed: testbed.Config{Sites: 1, HostsPerGroup: 2, Seed: 34}})
-	if _, err := env.Submit(context.Background(), afg.NewGraph("empty"), 0); err == nil {
+	if _, err := env.Submit(context.Background(), afg.NewGraph("empty")); err == nil {
 		t.Fatal("empty graph admitted")
 	}
 	if got := len(env.Jobs()); got != 0 {
@@ -223,7 +223,7 @@ func TestSubmitAfterCloseFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	env.Close()
-	if _, err := env.Submit(context.Background(), soakGraph(t, 0), 0); err != ErrPipelineClosed {
+	if _, err := env.Submit(context.Background(), soakGraph(t, 0)); err != ErrPipelineClosed {
 		t.Fatalf("Submit after Close = %v, want ErrPipelineClosed", err)
 	}
 }
@@ -242,7 +242,7 @@ func TestSubmitHonorsCallerContext(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		canceled, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
 		defer cancel()
-		if _, err := env.Submit(canceled, soakGraph(t, i), 0); err != nil {
+		if _, err := env.Submit(canceled, soakGraph(t, i)); err != nil {
 			// The queue filled and the context expired: the expected path.
 			if canceled.Err() == nil {
 				t.Fatalf("submit %d failed before ctx expiry: %v", i, err)
@@ -263,6 +263,7 @@ func TestJobStateStrings(t *testing.T) {
 		JobRunning:    services.JobStateRunning,
 		JobDone:       services.JobStateDone,
 		JobFailed:     services.JobStateFailed,
+		JobCanceled:   services.JobStateCanceled,
 	}
 	for state, want := range cases {
 		if got := state.String(); got != want {

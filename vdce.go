@@ -5,19 +5,25 @@
 // that can build, schedule, and execute applications end to end.
 //
 // The Environment is multi-tenant: alongside the one-shot Run helper it
-// runs a concurrent submission pipeline. Submit (and SubmitOwned, which
-// applies the owner's access domain) admits an application flow graph
-// into a bounded queue and returns a *Job handle immediately; a pool of
-// scheduler workers runs core.Scheduler rounds concurrently — each job
-// scheduled from its home site (round-robin for Submit, the submitting
-// site for SubmitOwned), so rounds spread across sites —
-// and a bounded dispatch path executes independent jobs' task graphs
-// simultaneously on the shared testbed (one task per machine at a time,
-// enforced engine-wide). Jobs move through queued -> scheduling ->
-// running -> done|failed; observe one job with Job.Wait/Job.Done, all
-// jobs with Drain, and the fleet's lifecycle through the Board
-// (services.JobBoard) or Jobs. PipelineConfig in Config sizes the queue,
-// the worker pool, and the execution concurrency.
+// runs a concurrent submission pipeline. Submit admits an application
+// flow graph — configured with functional options (WithOwner,
+// WithPriority, WithDeadline, WithHomeSite, WithMaxHosts, WithLabels) —
+// into a bounded priority queue and returns a *Job handle immediately.
+// Jobs dequeue by effective priority (the owner's user-account priority
+// unless overridden, aged upward while the job waits so nothing
+// starves); a pool of scheduler workers runs core.Scheduler rounds
+// concurrently — each job scheduled from its home site (round-robin for
+// anonymous submissions, the submitting site for owned ones), so rounds
+// spread across sites — and a bounded dispatch path executes
+// independent jobs' task graphs simultaneously on the shared testbed
+// (one task per machine at a time, enforced engine-wide). Jobs move
+// through queued -> scheduling -> running -> done|failed|canceled;
+// observe one job with Job.Wait/Job.Done, cancel it with Job.Cancel,
+// drain all with Drain, and follow the fleet's lifecycle through the
+// Board (services.JobBoard), Jobs, or the versioned /v1/jobs HTTP
+// surface (internal/jobsapi, mounted by vdce-server and the editor).
+// PipelineConfig in Config sizes the queue, the worker pool, the
+// execution concurrency, and the priority-aging rate.
 //
 // Reproduces Topcuoglu & Hariri, "A Global Computing Environment for
 // Networked Resources", ICPP 1997.
@@ -27,6 +33,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"sync"
 	"time"
 
@@ -35,6 +42,7 @@ import (
 	"vdce/internal/core"
 	"vdce/internal/editor"
 	"vdce/internal/exec"
+	"vdce/internal/jobsapi"
 	"vdce/internal/netmodel"
 	"vdce/internal/protocol"
 	"vdce/internal/repository"
@@ -360,13 +368,18 @@ func (env *Environment) ClampK(owner string, k int) int {
 // scheduler may use. Executed submissions go through the concurrent
 // submission pipeline, so simultaneous editor clients are served
 // simultaneously.
+//
+// When execute is true the editor also speaks the versioned job-control
+// API: POST /v1/apps/{id}/submit enqueues with per-job priority,
+// deadline, and max-hosts, and /v1/jobs (mounted owner-scoped, so users
+// cancel only their own jobs) serves status and cancellation.
 func (env *Environment) EditorServer(execute bool, k int) *editor.Server {
 	users := env.Sites[0].Repo.Users
-	return editor.NewServer(users, env.Registry, func(ctx context.Context, owner string, g *afg.Graph) (any, error) {
+	srv := editor.NewServer(users, env.Registry, func(ctx context.Context, owner string, g *afg.Graph) (any, error) {
 		if !execute {
 			return env.Schedule(g, env.ClampK(owner, k))
 		}
-		job, err := env.SubmitOwned(ctx, owner, g, k)
+		job, err := env.Submit(ctx, g, WithOwner(owner), WithMaxHosts(k))
 		if err != nil {
 			return nil, err
 		}
@@ -382,6 +395,43 @@ func (env *Environment) EditorServer(execute bool, k int) *editor.Server {
 			"runs":     len(res.Runs),
 		}, nil
 	})
+	if execute {
+		srv.SubmitJob = func(ctx context.Context, owner string, g *afg.Graph, o editor.JobOptions) (services.JobStatus, error) {
+			opts := []SubmitOption{WithOwner(owner), WithMaxHosts(k)}
+			if o.MaxHosts != nil {
+				opts = append(opts, WithMaxHosts(*o.MaxHosts))
+			}
+			if o.Priority != nil {
+				opts = append(opts, WithPriority(*o.Priority))
+			}
+			if o.Deadline > 0 {
+				opts = append(opts, WithDeadline(time.Now().Add(o.Deadline)))
+			}
+			job, err := env.Submit(ctx, g, opts...)
+			if err != nil {
+				// Failures the request itself caused surface as 400s.
+				if errors.Is(err, ErrJobDeadlineExceeded) || errors.Is(err, ErrJobCanceled) ||
+					errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					err = fmt.Errorf("%w: %v", editor.ErrBadSubmission, err)
+				}
+				return services.JobStatus{}, err
+			}
+			return job.Status(), nil
+		}
+		srv.Jobs = env.JobsHandler(jobsapi.Config{
+			Authenticate: srv.SessionUser,
+			OwnerScoped:  true,
+		})
+	}
+	return srv
+}
+
+// JobsHandler mounts the versioned job-control API (/v1/jobs) over this
+// environment's pipeline. The caller supplies authentication and
+// scoping; Source is filled in.
+func (env *Environment) JobsHandler(cfg jobsapi.Config) http.Handler {
+	cfg.Source = env
+	return jobsapi.Handler(cfg)
 }
 
 // RefreshMonitoring synchronously refreshes every site's resource DB
