@@ -7,6 +7,7 @@ import (
 
 	"vdce/internal/afg"
 	"vdce/internal/netmodel"
+	"vdce/internal/repository"
 )
 
 // The baseline policies the evaluation compares the VDCE scheduler
@@ -14,16 +15,22 @@ import (
 // structure, computing Predicted values with the same prediction oracle
 // so that simulated comparisons isolate the placement policy.
 
-// baselineEnv bundles what every baseline needs.
+// baselineEnv bundles what every baseline needs. check() freezes one
+// snapshot per site so the whole baseline run reads a coherent view.
 type baselineEnv struct {
 	g     *afg.Graph
 	sites []*LocalSite
+	snaps []*repository.Snapshot
 	net   *netmodel.Network
 }
 
 func (e *baselineEnv) check() error {
 	if len(e.sites) == 0 {
 		return ErrNoSites
+	}
+	e.snaps = make([]*repository.Snapshot, len(e.sites))
+	for i, s := range e.sites {
+		e.snaps[i] = s.Snapshot()
 	}
 	return e.g.Validate()
 }
@@ -50,19 +57,21 @@ func (e *baselineEnv) transferFor(id afg.TaskID, destSite string, placedSite map
 // hosts for the deterministic policies, or all ranked hosts for random).
 type siteOption struct {
 	site   *LocalSite
+	snap   *repository.Snapshot
 	ranked []RankedHost
 	nodes  int
 }
 
 func (e *baselineEnv) optionsFor(task *afg.Task) []siteOption {
 	var out []siteOption
-	for _, s := range e.sites {
-		ranked := s.RankedHosts(task)
-		nodes := s.requiredNodes(task)
+	for i, s := range e.sites {
+		snap := e.snaps[i]
+		ranked := s.RankedHostsAt(snap, task)
+		nodes := RequiredNodesAt(snap, task)
 		if len(ranked) < nodes || len(ranked) == 0 {
 			continue
 		}
-		out = append(out, siteOption{site: s, ranked: ranked, nodes: nodes})
+		out = append(out, siteOption{site: s, snap: snap, ranked: ranked, nodes: nodes})
 	}
 	return out
 }
@@ -93,7 +102,7 @@ func ScheduleRandom(g *afg.Graph, sites []*LocalSite, net *netmodel.Network, see
 		for i, pi := range perm {
 			hosts[i] = opt.ranked[pi].Name
 		}
-		pred, err := opt.site.PredictSet(task, hosts)
+		pred, err := opt.site.PredictSetAt(opt.snap, task, hosts)
 		if err != nil {
 			return nil, err
 		}
@@ -157,7 +166,7 @@ func ScheduleRoundRobin(g *afg.Graph, sites []*LocalSite, net *netmodel.Network)
 			}
 		}
 		hostCursor[name] += opt.nodes
-		pred, err := opt.site.PredictSet(task, hosts)
+		pred, err := opt.site.PredictSetAt(opt.snap, task, hosts)
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +215,7 @@ func ScheduleMinMin(g *afg.Graph, sites []*LocalSite, net *netmodel.Network) (*A
 				for i := 0; i < opt.nodes; i++ {
 					hosts[i] = opt.ranked[i].Name
 				}
-				pred, err := opt.site.PredictSet(task, hosts)
+				pred, err := opt.site.PredictSetAt(opt.snap, task, hosts)
 				if err != nil {
 					continue
 				}

@@ -17,7 +17,7 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -160,13 +160,16 @@ func pickMin(durs []time.Duration) int {
 	return best
 }
 
-// sortChoicesDeterministic orders candidate site names: local first, then
+// sortCandidates orders candidate site names: local first, then
 // lexicographic, used only for tie-breaking.
 func sortCandidates(cands []string, local string) {
-	sort.SliceStable(cands, func(i, j int) bool {
-		if (cands[i] == local) != (cands[j] == local) {
-			return cands[i] == local
+	slices.SortStableFunc(cands, func(a, b string) int {
+		if (a == local) != (b == local) {
+			if a == local {
+				return -1
+			}
+			return 1
 		}
-		return cands[i] < cands[j]
+		return strings.Compare(a, b)
 	})
 }

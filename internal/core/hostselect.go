@@ -1,8 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"time"
 
 	"vdce/internal/afg"
@@ -25,9 +27,22 @@ import (
 // machines required within the site": it ranks hosts by single-node
 // prediction, takes the required count, and predicts the parallel time
 // on the slowest chosen machine.
+//
+// Every selection round reads one repository.Snapshot — a frozen
+// copy-on-write epoch of the resource and task-performance databases —
+// so monitor and failure-detection writes landing mid-round cannot tear
+// the round's view of host workloads, statuses, or measurements. The
+// task-constraints database (install-time state, written only during
+// application registration) is read live: a concurrent install can make
+// tasks within one round see different install sets, but the
+// constraints write counter still invalidates affected cache entries.
+// Per-task rankings are memoized in a generation-validated cache (see
+// rankCache): an unchanged-state round is served from cache without
+// re-running Predict over the catalog.
 type LocalSite struct {
 	Repo   *repository.Repository
 	Oracle *predict.Oracle
+	cache  rankCache
 }
 
 // NewLocalSite returns a LocalSite with a default-constant oracle.
@@ -38,36 +53,33 @@ func NewLocalSite(repo *repository.Repository) *LocalSite {
 // SiteName implements SiteService.
 func (s *LocalSite) SiteName() string { return s.Repo.Site }
 
-// eligibleHosts applies the editor preferences and databases: the host
-// must be up, must have the task installed (task-constraints database),
-// and must match any machine-type or host-name preference.
-func (s *LocalSite) eligibleHosts(task *afg.Task) []repository.ResourceInfo {
-	var out []repository.ResourceInfo
-	for _, h := range s.Repo.Resources.UpHosts() {
-		if !s.Repo.Constraints.HasTask(task.Name, h.HostName) {
-			continue
-		}
-		if mt := task.Props.MachineType; mt != "" && mt != afg.AnyMachine && h.MachineType() != mt {
-			continue
-		}
-		if hp := task.Props.Host; hp != "" && hp != afg.AnyMachine && h.HostName != hp {
-			continue
-		}
-		out = append(out, h)
-	}
-	return out
-}
+// Snapshot captures the site's current scheduling state; pass it to the
+// *At methods to serve a whole round from one coherent view.
+func (s *LocalSite) Snapshot() *repository.Snapshot { return s.Repo.Snapshot() }
 
-// HostSelection implements SiteService (Fig. 3).
+// CacheStats reports the ranked-host cache counters.
+func (s *LocalSite) CacheStats() RankCacheStats { return s.cache.stats() }
+
+// HostSelection implements SiteService (Fig. 3). The whole graph is
+// selected against a single snapshot.
 func (s *LocalSite) HostSelection(g *afg.Graph) (Selection, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	return s.hostSelectionValidated(g), nil
+}
+
+// hostSelectionValidated runs Fig. 3 without re-validating g — the
+// in-process fast path for schedulers that validated the graph at the
+// top of the round (validation walks the whole DAG; once per round is
+// enough).
+func (s *LocalSite) hostSelectionValidated(g *afg.Graph) Selection {
+	snap := s.Repo.Snapshot()
 	sel := make(Selection, len(g.Tasks))
 	for _, task := range g.Tasks {
-		sel[task.ID] = s.chooseFor(task)
+		sel[task.ID] = s.chooseForAt(snap, task)
 	}
-	return sel, nil
+	return sel
 }
 
 // RankedHost is one eligible host with its predicted single-node
@@ -79,16 +91,77 @@ type RankedHost struct {
 
 // RankedHosts returns the task's eligible hosts sorted by ascending
 // predicted single-node time (ties by name). An empty slice means the
-// site cannot run the task.
+// site cannot run the task. The returned slice may be shared with the
+// cache and other callers: do not modify it.
 func (s *LocalSite) RankedHosts(task *afg.Task) []RankedHost {
-	params, err := s.Repo.TaskPerf.Params(task.Name)
+	return s.RankedHostsAt(s.Repo.Snapshot(), task)
+}
+
+// RankedHostsAt is RankedHosts against a caller-held snapshot. Rankings
+// are served from the generation-validated cache when no repository
+// write has touched the inputs since the last computation.
+func (s *LocalSite) RankedHostsAt(snap *repository.Snapshot, task *afg.Task) []RankedHost {
+	params, err := snap.TaskParams(task.Name)
 	if err != nil {
 		return nil
 	}
-	var out []RankedHost
-	for _, h := range s.eligibleHosts(task) {
+	taskGen, _ := snap.TaskGeneration(task.Name)
+	resGen := snap.ResourceGeneration()
+	consGen := s.Repo.Constraints.Generation()
+
+	e := s.cache.entry(keyFor(task))
+	pred := s.Oracle.P
+	hit := func(r *rankResult) bool {
+		return r != nil && r.resGen == resGen && r.taskGen == taskGen &&
+			r.consGen == consGen && r.pred == pred
+	}
+	// Lock-free fast path: a matching-generation result serves the round
+	// with a pointer load and three compares.
+	if r := e.cur.Load(); hit(r) {
+		s.cache.hits.Add(1)
+		return r.ranked
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	// Double-check: a concurrent miss on the same generations may have
+	// recomputed while we waited for the singleflight lock.
+	if r := e.cur.Load(); hit(r) {
+		s.cache.hits.Add(1)
+		return r.ranked
+	}
+	prev := e.cur.Load()
+	ranked := s.computeRankedAt(snap, task, params)
+	// A concurrent round holding a newer snapshot may already have stored
+	// a fresher ranking; never replace newer with older.
+	if prev == nil || (prev.resGen <= resGen && prev.taskGen <= taskGen && prev.consGen <= consGen) {
+		if prev != nil {
+			s.cache.invalidations.Add(1)
+		}
+		e.cur.Store(&rankResult{resGen: resGen, taskGen: taskGen, consGen: consGen, pred: pred, ranked: ranked})
+	}
+	s.cache.misses.Add(1)
+	return ranked
+}
+
+// computeRankedAt evaluates Predict(task, R) over the snapshot's up
+// hosts — the uncached body of Fig. 3 steps 1-2+4.
+func (s *LocalSite) computeRankedAt(snap *repository.Snapshot, task *afg.Task, params repository.TaskParams) []RankedHost {
+	views := snap.UpHosts()
+	out := make([]RankedHost, 0, len(views))
+	for _, h := range views {
+		// Eligibility: task installed on the host (task-constraints
+		// database) and editor machine-type / host-name preferences.
+		if !s.Repo.Constraints.HasTask(task.Name, h.HostName) {
+			continue
+		}
+		if mt := task.Props.MachineType; mt != "" && mt != afg.AnyMachine && h.MachineType() != mt {
+			continue
+		}
+		if hp := task.Props.Host; hp != "" && hp != afg.AnyMachine && h.HostName != hp {
+			continue
+		}
 		var measured *time.Duration
-		if d, ok := s.Repo.TaskPerf.MeasuredTime(task.Name, h.HostName); ok {
+		if d, ok := snap.MeasuredTime(task.Name, h.HostName); ok {
 			measured = &d
 		}
 		d, err := s.Oracle.P.Predict(params, h, 1, measured)
@@ -97,22 +170,26 @@ func (s *LocalSite) RankedHosts(task *afg.Task) []RankedHost {
 		}
 		out = append(out, RankedHost{Name: h.HostName, Single: d})
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Single != out[j].Single {
-			return out[i].Single < out[j].Single
+	slices.SortStableFunc(out, func(a, b RankedHost) int {
+		if a.Single != b.Single {
+			return cmp.Compare(a.Single, b.Single)
 		}
-		return out[i].Name < out[j].Name
+		return strings.Compare(a.Name, b.Name)
 	})
 	return out
 }
 
-// requiredNodes returns how many machines the task needs on this site.
-func (s *LocalSite) requiredNodes(task *afg.Task) int {
-	params, err := s.Repo.TaskPerf.Params(task.Name)
+// RequiredNodesAt returns how many machines the task needs on a site,
+// as of snap: Props.Nodes when the task runs in parallel mode AND its
+// library implementation is parallelizable, else 1. This is the single
+// authority on the node-count rule — the schedulers, baselines, and the
+// rescheduler all consult it.
+func RequiredNodesAt(snap *repository.Snapshot, task *afg.Task) int {
+	params, err := snap.TaskParams(task.Name)
 	if err != nil {
 		return 1
 	}
-	if task.Props.Mode == afg.Parallel && params.Parallelizable {
+	if task.Props.Mode == afg.Parallel && params.Parallelizable && task.Props.Nodes > 1 {
 		return task.Props.Nodes
 	}
 	return 1
@@ -123,22 +200,31 @@ func (s *LocalSite) requiredNodes(task *afg.Task) int {
 // the slowest member, since the parallel task finishes when its slowest
 // share does.
 func (s *LocalSite) PredictSet(task *afg.Task, hosts []string) (time.Duration, error) {
+	return s.PredictSetAt(s.Repo.Snapshot(), task, hosts)
+}
+
+// PredictSetAt is PredictSet against a caller-held snapshot. The worst
+// member is tracked inside the ranking loop, so the parallel-time
+// prediction is computed once from it rather than re-fetching and
+// re-ranking the worst host afterwards.
+func (s *LocalSite) PredictSetAt(snap *repository.Snapshot, task *afg.Task, hosts []string) (time.Duration, error) {
 	if len(hosts) == 0 {
 		return 0, fmt.Errorf("core: PredictSet with no hosts")
 	}
-	params, err := s.Repo.TaskPerf.Params(task.Name)
+	params, err := snap.TaskParams(task.Name)
 	if err != nil {
 		return 0, err
 	}
 	var worst time.Duration
-	var worstName string
+	var worstHost repository.HostView
+	var worstMeasured *time.Duration
 	for _, name := range hosts {
-		h, err := s.Repo.Resources.Host(name)
-		if err != nil {
-			return 0, err
+		h, ok := snap.View(name)
+		if !ok {
+			return 0, fmt.Errorf("%w: %s", repository.ErrUnknownHost, name)
 		}
 		var measured *time.Duration
-		if d, ok := s.Repo.TaskPerf.MeasuredTime(task.Name, name); ok {
+		if d, ok := snap.MeasuredTime(task.Name, name); ok {
 			measured = &d
 		}
 		d, err := s.Oracle.P.Predict(params, h, 1, measured)
@@ -146,30 +232,25 @@ func (s *LocalSite) PredictSet(task *afg.Task, hosts []string) (time.Duration, e
 			return 0, err
 		}
 		if d >= worst {
-			worst, worstName = d, name
+			worst, worstHost, worstMeasured = d, h, measured
 		}
 	}
-	h, err := s.Repo.Resources.Host(worstName)
-	if err != nil {
-		return 0, err
+	if len(hosts) == 1 {
+		return worst, nil
 	}
-	var measured *time.Duration
-	if d, ok := s.Repo.TaskPerf.MeasuredTime(task.Name, worstName); ok {
-		measured = &d
-	}
-	return s.Oracle.P.Predict(params, h, len(hosts), measured)
+	return s.Oracle.P.Predict(params, worstHost, len(hosts), worstMeasured)
 }
 
-// chooseFor runs the per-task body of Fig. 3.
-func (s *LocalSite) chooseFor(task *afg.Task) HostChoice {
-	if _, err := s.Repo.TaskPerf.Params(task.Name); err != nil {
+// chooseForAt runs the per-task body of Fig. 3 against one snapshot.
+func (s *LocalSite) chooseForAt(snap *repository.Snapshot, task *afg.Task) HostChoice {
+	if _, err := snap.TaskParams(task.Name); err != nil {
 		return HostChoice{Site: s.SiteName(), Err: err.Error()}
 	}
-	ranked := s.RankedHosts(task)
+	ranked := s.RankedHostsAt(snap, task)
 	if len(ranked) == 0 {
 		return HostChoice{Site: s.SiteName(), Err: fmt.Sprintf("no eligible host for %s", task.Name)}
 	}
-	nodes := s.requiredNodes(task)
+	nodes := RequiredNodesAt(snap, task)
 	if nodes <= 1 {
 		return HostChoice{
 			Site:      s.SiteName(),
@@ -185,7 +266,7 @@ func (s *LocalSite) chooseFor(task *afg.Task) HostChoice {
 	for i := 0; i < nodes; i++ {
 		names[i] = ranked[i].Name
 	}
-	d, err := s.PredictSet(task, names)
+	d, err := s.PredictSetAt(snap, task, names)
 	if err != nil {
 		return HostChoice{Site: s.SiteName(), Err: err.Error()}
 	}

@@ -6,6 +6,7 @@ import (
 
 	"vdce/internal/afg"
 	"vdce/internal/netmodel"
+	"vdce/internal/repository"
 )
 
 // ScheduleQueueAware is the extension E2 motivates: the paper's site
@@ -36,6 +37,11 @@ func ScheduleQueueAware(g *afg.Graph, sites []*LocalSite, net *netmodel.Network,
 	finish := make(map[afg.TaskID]time.Duration, len(g.Tasks))
 	hostFree := make(map[string]time.Duration)
 	rs := afg.NewReadySet(g)
+	// One coherent snapshot per site serves the whole round.
+	snaps := make([]*repository.Snapshot, len(sites))
+	for i, site := range sites {
+		snaps[i] = site.Snapshot()
+	}
 
 	for !rs.Empty() {
 		// Highest level first, ties by ID — the paper's priority rule.
@@ -56,9 +62,10 @@ func ScheduleQueueAware(g *afg.Graph, sites []*LocalSite, net *netmodel.Network,
 			eft   time.Duration
 		}
 		var best *option
-		for _, site := range sites {
-			ranked := site.RankedHosts(task)
-			nodes := site.requiredNodes(task)
+		for si, site := range sites {
+			snap := snaps[si]
+			ranked := site.RankedHostsAt(snap, task)
+			nodes := RequiredNodesAt(snap, task)
 			if len(ranked) < nodes || len(ranked) == 0 {
 				continue
 			}
@@ -70,7 +77,7 @@ func ScheduleQueueAware(g *afg.Graph, sites []*LocalSite, net *netmodel.Network,
 				for i := 0; i < nodes; i++ {
 					hosts[i] = ranked[start+i].Name
 				}
-				pred, err := site.PredictSet(task, hosts)
+				pred, err := site.PredictSetAt(snap, task, hosts)
 				if err != nil {
 					continue
 				}

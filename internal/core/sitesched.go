@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -70,7 +69,10 @@ func (s *Scheduler) neighborServices() ([]SiteService, error) {
 }
 
 // multicast runs HostSelection on every site concurrently (Fig. 2 steps
-// 3-5). Sites that error are dropped with their error recorded.
+// 3-5). Sites that error are dropped with their error recorded. The
+// caller has already validated g, so in-process sites take the
+// no-revalidation fast path; remote sites validate on their own side of
+// the wire as always.
 func multicast(g *afg.Graph, sites []SiteService) (map[string]Selection, map[string]error) {
 	selections := make(map[string]Selection, len(sites))
 	errs := make(map[string]error)
@@ -80,7 +82,13 @@ func multicast(g *afg.Graph, sites []SiteService) (map[string]Selection, map[str
 		wg.Add(1)
 		go func(svc SiteService) {
 			defer wg.Done()
-			sel, err := svc.HostSelection(g)
+			var sel Selection
+			var err error
+			if ls, ok := svc.(*LocalSite); ok {
+				sel = ls.hostSelectionValidated(g)
+			} else {
+				sel, err = svc.HostSelection(g)
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -203,13 +211,12 @@ func (s *Scheduler) nextReady(rs *afg.ReadySet, levels []float64) afg.TaskID {
 	case FIFOPriority:
 		return ready[0] // Ready() is ID-sorted
 	default:
-		sort.SliceStable(ready, func(i, j int) bool {
-			li, lj := levels[ready[i]], levels[ready[j]]
-			if li != lj {
-				return li > lj
+		best := ready[0]
+		for _, cand := range ready[1:] {
+			if levels[cand] > levels[best] || (levels[cand] == levels[best] && cand < best) {
+				best = cand
 			}
-			return ready[i] < ready[j]
-		})
-		return ready[0]
+		}
+		return best
 	}
 }

@@ -24,7 +24,10 @@ func NewRescheduler(sites []*core.LocalSite) func(*afg.Graph, afg.TaskID, []stri
 		}
 		var best *core.Placement
 		for _, site := range sites {
-			ranked := site.RankedHosts(task)
+			// One snapshot per site keeps the exclusion scan and the
+			// final prediction on the same view.
+			snap := site.Snapshot()
+			ranked := site.RankedHostsAt(snap, task)
 			var usable []core.RankedHost
 			for _, r := range ranked {
 				if !bad[r.Name] {
@@ -34,7 +37,7 @@ func NewRescheduler(sites []*core.LocalSite) func(*afg.Graph, afg.TaskID, []stri
 			if len(usable) == 0 {
 				continue
 			}
-			nodes := nodesFor(site, task)
+			nodes := core.RequiredNodesAt(snap, task)
 			if len(usable) < nodes {
 				continue
 			}
@@ -42,7 +45,7 @@ func NewRescheduler(sites []*core.LocalSite) func(*afg.Graph, afg.TaskID, []stri
 			for i := 0; i < nodes; i++ {
 				hosts[i] = usable[i].Name
 			}
-			pred, err := site.PredictSet(task, hosts)
+			pred, err := site.PredictSetAt(snap, task, hosts)
 			if err != nil {
 				continue
 			}
@@ -58,22 +61,6 @@ func NewRescheduler(sites []*core.LocalSite) func(*afg.Graph, afg.TaskID, []stri
 		}
 		return best, nil
 	}
-}
-
-// nodesFor mirrors the host-selection node-count rule using only
-// exported repository state.
-func nodesFor(site *core.LocalSite, task *afg.Task) int {
-	if task.Props.Mode != afg.Parallel {
-		return 1
-	}
-	params, err := site.Repo.TaskPerf.Params(task.Name)
-	if err != nil || !params.Parallelizable {
-		return 1
-	}
-	if task.Props.Nodes < 1 {
-		return 1
-	}
-	return task.Props.Nodes
 }
 
 // waitForLoad is a small test helper shared by the experiments: it polls

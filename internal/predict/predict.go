@@ -63,10 +63,12 @@ var (
 // parameters on the given resource using nodes processors (nodes <= 1
 // means sequential). measured, when non-nil, is the smoothed observed
 // execution time of this task on this host and is blended into the
-// estimate.
+// estimate. The host arrives as the slim HostView — the model never
+// reads workload history, so the scheduling path passes views straight
+// out of a repository snapshot without cloning records.
 //
 // This is the paper's Predict(task_i, R_j).
-func (p *Predictor) Predict(task repository.TaskParams, host repository.ResourceInfo, nodes int, measured *time.Duration) (time.Duration, error) {
+func (p *Predictor) Predict(task repository.TaskParams, host repository.HostView, nodes int, measured *time.Duration) (time.Duration, error) {
 	if p.BaseOpsPerSec <= 0 {
 		return 0, fmt.Errorf("%w: BaseOpsPerSec must be positive", ErrBadRequest)
 	}
@@ -144,18 +146,27 @@ func NewOracle(repo *repository.Repository) *Oracle {
 	return &Oracle{P: Default(), Repo: repo}
 }
 
-// Predict estimates task's execution time on host using nodes processors.
+// Predict estimates task's execution time on host using nodes
+// processors. It reads one coherent repository snapshot; callers holding
+// a snapshot for a whole round should use PredictAt instead.
 func (o *Oracle) Predict(taskName, hostName string, nodes int) (time.Duration, error) {
-	task, err := o.Repo.TaskPerf.Params(taskName)
+	return o.PredictAt(o.Repo.Snapshot(), taskName, hostName, nodes)
+}
+
+// PredictAt estimates task's execution time on host against the given
+// snapshot, so repeated predictions within one scheduling round share a
+// single frozen view of the databases.
+func (o *Oracle) PredictAt(snap *repository.Snapshot, taskName, hostName string, nodes int) (time.Duration, error) {
+	task, err := snap.TaskParams(taskName)
 	if err != nil {
 		return 0, err
 	}
-	host, err := o.Repo.Resources.Host(hostName)
-	if err != nil {
-		return 0, err
+	host, ok := snap.View(hostName)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", repository.ErrUnknownHost, hostName)
 	}
 	var measured *time.Duration
-	if d, ok := o.Repo.TaskPerf.MeasuredTime(taskName, hostName); ok {
+	if d, ok := snap.MeasuredTime(taskName, hostName); ok {
 		measured = &d
 	}
 	return o.P.Predict(task, host, nodes, measured)
@@ -172,6 +183,6 @@ func (o *Oracle) BaseTimeFor(taskName string) (time.Duration, error) {
 	if params.BaseTime > 0 {
 		return params.BaseTime, nil
 	}
-	base := repository.ResourceInfo{HostName: "base", SpeedFactor: 1, Status: repository.HostUp}
+	base := repository.HostView{HostName: "base", SpeedFactor: 1, Status: repository.HostUp}
 	return o.P.Predict(params, base, 1, nil)
 }

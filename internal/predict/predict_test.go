@@ -14,8 +14,8 @@ func task(ops float64) repository.TaskParams {
 	return repository.TaskParams{Name: "t", ComputationOps: ops}
 }
 
-func upHost(speed, load float64) repository.ResourceInfo {
-	return repository.ResourceInfo{
+func upHost(speed, load float64) repository.HostView {
+	return repository.HostView{
 		HostName: "h", SpeedFactor: speed, CPULoad: load,
 		Status: repository.HostUp, TotalMem: 1 << 30, AvailMem: 1 << 30,
 	}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ConstraintsDB is the task-constraints database: the location (absolute
@@ -12,9 +13,16 @@ import (
 // on a host only if a location is registered there.
 type ConstraintsDB struct {
 	mu sync.RWMutex
+	// gen counts writes, so cached derivations (ranked-host lists)
+	// invalidate when the installed-task map changes.
+	gen atomic.Uint64
 	// locations[task][host] = absolute executable path
 	locations map[string]map[string]string
 }
+
+// Generation returns the write counter; it changes whenever a location
+// is added or removed.
+func (db *ConstraintsDB) Generation() uint64 { return db.gen.Load() }
 
 // NewConstraintsDB returns an empty constraints database.
 func NewConstraintsDB() *ConstraintsDB {
@@ -37,6 +45,7 @@ func (db *ConstraintsDB) SetLocation(task, host, path string) error {
 		db.locations[task] = m
 	}
 	m[host] = path
+	db.gen.Add(1)
 	return nil
 }
 
@@ -79,6 +88,7 @@ func (db *ConstraintsDB) RemoveHost(host string) {
 	for _, m := range db.locations {
 		delete(m, host)
 	}
+	db.gen.Add(1)
 }
 
 // InstallEverywhere registers task at path on every listed host — a
@@ -129,4 +139,5 @@ func (db *ConstraintsDB) restore(rows []constraintRow) {
 		}
 		m[r.Host] = r.Path
 	}
+	db.gen.Add(1)
 }

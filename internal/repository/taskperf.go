@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -40,18 +41,30 @@ type Measurement struct {
 
 // perTask couples static parameters with the per-host exponentially
 // smoothed execution times the Site Manager writes back after runs.
+// Records are frozen once their epoch is published; writers replace a
+// record with a fresh copy and bump its generation.
 type perTask struct {
+	// gen changes whenever this task's record (params, smoothed times, or
+	// history) changes — the ranked-host cache invalidates per task on it.
+	gen      uint64
 	Params   TaskParams
 	Smoothed map[string]time.Duration // host -> smoothed measured time
 	History  []Measurement
 }
 
+// perfEpoch is one immutable copy-on-write snapshot of the database.
+type perfEpoch struct {
+	gen   uint64
+	tasks map[string]*perTask // records never mutate after publish
+}
+
 // TaskPerfDB is the task-performance database: performance
 // characteristics for each task, used to predict the performance of a
-// task on a given resource.
+// task on a given resource. Writers publish copy-on-write epochs;
+// readers are lock-free pointer loads.
 type TaskPerfDB struct {
-	mu    sync.RWMutex
-	tasks map[string]*perTask
+	wmu   sync.Mutex // serializes writers only
+	epoch atomic.Pointer[perfEpoch]
 	// Alpha is the exponential smoothing weight for new measurements.
 	Alpha float64
 }
@@ -62,7 +75,40 @@ const maxHistory = 128
 // NewTaskPerfDB returns an empty task-performance database with smoothing
 // weight 0.5.
 func NewTaskPerfDB() *TaskPerfDB {
-	return &TaskPerfDB{tasks: make(map[string]*perTask), Alpha: 0.5}
+	db := &TaskPerfDB{Alpha: 0.5}
+	db.epoch.Store(&perfEpoch{tasks: map[string]*perTask{}})
+	return db
+}
+
+// mutate runs f over a private copy of the task map and publishes the
+// result as a new epoch. f must replace (not modify) any record it
+// changes, stamping it with the new epoch's generation (passed as gen).
+func (db *TaskPerfDB) mutate(f func(m map[string]*perTask, gen uint64) error) error {
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	cur := db.epoch.Load()
+	m := make(map[string]*perTask, len(cur.tasks)+1)
+	for k, v := range cur.tasks {
+		m[k] = v
+	}
+	gen := cur.gen + 1
+	if err := f(m, gen); err != nil {
+		return err
+	}
+	db.epoch.Store(&perfEpoch{gen: gen, tasks: m})
+	return nil
+}
+
+// TaskGeneration returns the named task's record generation: it changes
+// only when that task's parameters or measurements change, so cached
+// per-task derivations (ranked-host lists) invalidate on exactly the
+// writes that affect them. ok is false for unknown tasks.
+func (db *TaskPerfDB) TaskGeneration(name string) (gen uint64, ok bool) {
+	t, ok := db.epoch.Load().tasks[name]
+	if !ok {
+		return 0, false
+	}
+	return t.gen, true
 }
 
 // ErrUnknownTask is returned when a task has no performance record.
@@ -79,22 +125,39 @@ func (db *TaskPerfDB) RegisterTask(p TaskParams) error {
 	if p.SerialFraction < 0 || p.SerialFraction > 1 {
 		return fmt.Errorf("repository: serial fraction %g out of [0,1] for task %s", p.SerialFraction, p.Name)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	existing, ok := db.tasks[p.Name]
-	if ok {
-		existing.Params = p
+	return db.mutate(func(m map[string]*perTask, gen uint64) error {
+		if existing, ok := m[p.Name]; ok {
+			c := clonePerTask(existing, gen)
+			c.Params = p
+			m[p.Name] = c
+			return nil
+		}
+		m[p.Name] = &perTask{gen: gen, Params: p, Smoothed: map[string]time.Duration{}}
 		return nil
+	})
+}
+
+// clonePerTask copies a record so the copy can be modified without
+// touching the epochs that still reference the original. The smoothed
+// map is copied (maps cannot be shared with a mutator); History is
+// shared — appends go through the shared-tail chronicle in
+// RecordExecution, which older windows never observe.
+func clonePerTask(t *perTask, gen uint64) *perTask {
+	c := &perTask{
+		gen:      gen,
+		Params:   t.Params,
+		Smoothed: make(map[string]time.Duration, len(t.Smoothed)+1),
+		History:  t.History,
 	}
-	db.tasks[p.Name] = &perTask{Params: p, Smoothed: make(map[string]time.Duration)}
-	return nil
+	for h, d := range t.Smoothed {
+		c.Smoothed[h] = d
+	}
+	return c
 }
 
 // Params returns the static parameters of the named task.
 func (db *TaskPerfDB) Params(name string) (TaskParams, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tasks[name]
+	t, ok := db.epoch.Load().tasks[name]
 	if !ok {
 		return TaskParams{}, fmt.Errorf("%w: %s", ErrUnknownTask, name)
 	}
@@ -119,32 +182,35 @@ func (db *TaskPerfDB) RecordExecution(task, host string, elapsed time.Duration, 
 	if elapsed < 0 {
 		return fmt.Errorf("repository: negative elapsed for %s on %s", task, host)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	t, ok := db.tasks[task]
-	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownTask, task)
-	}
-	prev, seen := t.Smoothed[host]
-	if !seen {
-		t.Smoothed[host] = elapsed
-	} else {
-		a := db.Alpha
-		t.Smoothed[host] = time.Duration(a*float64(elapsed) + (1-a)*float64(prev))
-	}
-	t.History = append(t.History, Measurement{Host: host, Elapsed: elapsed, Time: at})
-	if len(t.History) > maxHistory {
-		t.History = t.History[len(t.History)-maxHistory:]
-	}
-	return nil
+	return db.mutate(func(m map[string]*perTask, gen uint64) error {
+		t, ok := m[task]
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrUnknownTask, task)
+		}
+		c := clonePerTask(t, gen)
+		prev, seen := c.Smoothed[host]
+		if !seen {
+			c.Smoothed[host] = elapsed
+		} else {
+			a := db.Alpha
+			c.Smoothed[host] = time.Duration(a*float64(elapsed) + (1-a)*float64(prev))
+		}
+		// Shared-tail chronicle append (see withSample in resources.go):
+		// older epochs' windows end at or before the current tail, so
+		// the append is invisible to them; trimming is a re-slice.
+		c.History = append(c.History, Measurement{Host: host, Elapsed: elapsed, Time: at})
+		if len(c.History) > maxHistory {
+			c.History = c.History[len(c.History)-maxHistory:]
+		}
+		m[task] = c
+		return nil
+	})
 }
 
 // MeasuredTime returns the smoothed measured execution time of task on
 // host and whether any measurement exists.
 func (db *TaskPerfDB) MeasuredTime(task, host string) (time.Duration, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tasks[task]
+	t, ok := db.epoch.Load().tasks[task]
 	if !ok {
 		return 0, false
 	}
@@ -154,9 +220,7 @@ func (db *TaskPerfDB) MeasuredTime(task, host string) (time.Duration, bool) {
 
 // History returns a copy of the stored measurement log for a task.
 func (db *TaskPerfDB) History(task string) []Measurement {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, ok := db.tasks[task]
+	t, ok := db.epoch.Load().tasks[task]
 	if !ok {
 		return nil
 	}
@@ -165,10 +229,9 @@ func (db *TaskPerfDB) History(task string) []Measurement {
 
 // TaskNames returns the registered task names, sorted.
 func (db *TaskPerfDB) TaskNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.tasks))
-	for n := range db.tasks {
+	e := db.epoch.Load()
+	out := make([]string, 0, len(e.tasks))
+	for n := range e.tasks {
 		out = append(out, n)
 	}
 	sort.Strings(out)
@@ -183,10 +246,9 @@ type taskPerfSnapshot struct {
 }
 
 func (db *TaskPerfDB) snapshot() []taskPerfSnapshot {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]taskPerfSnapshot, 0, len(db.tasks))
-	for _, t := range db.tasks {
+	e := db.epoch.Load()
+	out := make([]taskPerfSnapshot, 0, len(e.tasks))
+	for _, t := range e.tasks {
 		s := taskPerfSnapshot{Params: t.Params, Smoothed: make(map[string]time.Duration, len(t.Smoothed))}
 		for h, d := range t.Smoothed {
 			s.Smoothed[h] = d
@@ -199,15 +261,18 @@ func (db *TaskPerfDB) snapshot() []taskPerfSnapshot {
 }
 
 func (db *TaskPerfDB) restore(snaps []taskPerfSnapshot) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.tasks = make(map[string]*perTask, len(snaps))
+	db.wmu.Lock()
+	defer db.wmu.Unlock()
+	cur := db.epoch.Load()
+	gen := cur.gen + 1
+	m := make(map[string]*perTask, len(snaps))
 	for _, s := range snaps {
-		t := &perTask{Params: s.Params, Smoothed: make(map[string]time.Duration, len(s.Smoothed))}
+		t := &perTask{gen: gen, Params: s.Params, Smoothed: make(map[string]time.Duration, len(s.Smoothed))}
 		for h, d := range s.Smoothed {
 			t.Smoothed[h] = d
 		}
 		t.History = append(t.History, s.History...)
-		db.tasks[s.Params.Name] = t
+		m[s.Params.Name] = t
 	}
+	db.epoch.Store(&perfEpoch{gen: gen, tasks: m})
 }

@@ -199,19 +199,22 @@ func (tb *Testbed) AllHosts() []*Host {
 // want fresh load data without running the daemons.
 func (tb *Testbed) RefreshRepos(now time.Time) error {
 	for _, s := range tb.Sites {
+		// Batch the whole site's round into one epoch publish: schedulers
+		// see either the pre-round or post-round catalog, never a torn
+		// mixture, and the ranked-host caches invalidate once per round.
+		updates := make([]repository.RoundUpdate, 0, len(s.Hosts))
 		for _, h := range s.Hosts {
 			if h.Failed() {
-				if err := s.Repo.Resources.SetStatus(h.Name, repository.HostDown); err != nil {
-					return err
-				}
+				updates = append(updates, repository.RoundUpdate{Host: h.Name, Status: repository.HostDown})
 				continue
 			}
-			if err := s.Repo.Resources.SetStatus(h.Name, repository.HostUp); err != nil {
-				return err
-			}
-			if err := s.Repo.Resources.UpdateWorkload(h.Name, h.Sample(now)); err != nil {
-				return err
-			}
+			sample := h.Sample(now)
+			updates = append(updates, repository.RoundUpdate{
+				Host: h.Name, Status: repository.HostUp, Sample: &sample,
+			})
+		}
+		if _, err := s.Repo.Resources.ApplyRound(updates); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -174,9 +174,10 @@ func New(cfg Config) (*Environment, error) {
 		Metrics:       env.Metrics,
 	}
 	env.Engine.Record = func(rec protocol.ExecutionRecord) {
-		// Route the record to the owning site's task-performance DB.
+		// Route the record to the owning site's task-performance DB; the
+		// membership probe needs no history, so the slim view suffices.
 		for _, site := range env.Sites {
-			if _, err := site.Repo.Resources.Host(rec.Host); err == nil {
+			if _, ok := site.Repo.Resources.View(rec.Host); ok {
 				_ = site.Repo.TaskPerf.RecordExecution(rec.Task, rec.Host, rec.Elapsed, rec.At)
 				return
 			}
@@ -216,12 +217,12 @@ func (t teeReporter) ApplyRecovery(n protocol.RecoveryNotice) error {
 type directReporter struct{ repo *repository.Repository }
 
 func (d directReporter) ApplyWorkloads(b protocol.WorkloadBatch) error {
-	for _, s := range b.Samples {
-		if err := d.repo.Resources.UpdateWorkload(s.Host, s.Sample); err != nil {
-			return err
-		}
+	samples := make([]repository.HostSample, len(b.Samples))
+	for i, s := range b.Samples {
+		samples[i] = repository.HostSample{Host: s.Host, Sample: s.Sample}
 	}
-	return nil
+	_, err := d.repo.Resources.UpdateWorkloads(samples)
+	return err
 }
 
 func (d directReporter) ApplyFailure(n protocol.FailureNotice) error {
