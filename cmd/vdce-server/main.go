@@ -10,6 +10,15 @@
 //
 //	vdce-server -hosts 8 -http 127.0.0.1:8470 -workers 4 -parallel 8
 //
+// The heartbeat failure detector runs by default (-detector=false
+// disables it), so crashed or partitioned hosts are confirmed dead,
+// marked down in the repository, and their running tasks rescheduled
+// mid-flight; per-job recovery is visible as reschedules/failed_hosts
+// on /v1/jobs. With -chaos a fault-injection scenario plays against the
+// live testbed while submissions execute:
+//
+//	vdce-server -hosts 8 -chaos kill-quarter -chaos-span 30s
+//
 // Log in with user "user_k", password "vdce".
 package main
 
@@ -25,11 +34,27 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
+	"time"
 
 	"vdce"
+	"vdce/internal/chaos"
 	"vdce/internal/jobsapi"
 	"vdce/internal/testbed"
 )
+
+// lockedWriter serializes writes from the chaos goroutine and run's
+// own prints onto one underlying writer.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -52,6 +77,9 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 	workers := fs.Int("workers", 0, "scheduler workers (0 = default)")
 	queue := fs.Int("queue", 0, "admission queue depth (0 = default)")
 	parallel := fs.Int("parallel", 0, "max concurrently executing applications (0 = default)")
+	detector := fs.Bool("detector", true, "run the heartbeat failure detector")
+	chaosName := fs.String("chaos", "", "play a fault scenario against the live testbed: kill-quarter|rolling-restart|site-partition")
+	chaosSpan := fs.Duration("chaos-span", 30*time.Second, "duration the -chaos scenario is spread over")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -65,6 +93,7 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 		},
 		UseRPC:        true,
 		StartDaemons:  true,
+		StartDetector: *detector,
 		DilationScale: 1,
 		LoadThreshold: 0.9,
 		Pipeline: vdce.PipelineConfig{
@@ -77,6 +106,30 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 		return err
 	}
 	defer env.Close()
+
+	if *chaosName != "" {
+		sc, err := chaos.Named(*chaosName, env.TB, *chaosSpan)
+		if err != nil {
+			return err
+		}
+		// The scenario goroutine logs events as they land, concurrently
+		// with run's own writes: serialize the writer, and join the
+		// goroutine before returning so nothing writes after run exits.
+		lw := &lockedWriter{w: out}
+		out = lw
+		inj := chaos.NewInjector(env.TB, *seed)
+		inj.OnApply = func(a chaos.Applied) { fmt.Fprintf(lw, "chaos: %s\n", a) }
+		chaosCtx, stopChaos := context.WithCancel(ctx)
+		chaosDone := make(chan struct{})
+		defer func() { <-chaosDone }() // registered first: joins after the cancel below
+		defer stopChaos()
+		go func() {
+			defer close(chaosDone)
+			if _, err := inj.Run(chaosCtx, sc); err != nil && !errors.Is(err, context.Canceled) {
+				fmt.Fprintf(lw, "chaos: scenario aborted: %v\n", err)
+			}
+		}()
+	}
 
 	editorSrv := env.EditorServer(*execute, 0)
 	mux := http.NewServeMux()

@@ -5,6 +5,14 @@
 //
 //	vdce-sim -family layered -tasks 40 -ccr 2 -sites 3 -hosts 4
 //	vdce-sim -family fft -tasks 60 -policy minmin -gantt-width 100
+//
+// With -chaos it additionally plays a fault-injection scenario against
+// the testbed, drives the heartbeat failure detector to confirmation,
+// reschedules the workload on the surviving hosts, and reports how the
+// allocation recovered:
+//
+//	vdce-sim -family layered -tasks 24 -sites 2 -chaos kill-quarter
+//	vdce-sim -chaos site-partition -sites 3
 package main
 
 import (
@@ -16,7 +24,9 @@ import (
 	"os"
 	"time"
 
+	"vdce/internal/chaos"
 	"vdce/internal/core"
+	"vdce/internal/detect"
 	"vdce/internal/sim"
 	"vdce/internal/testbed"
 	"vdce/internal/trace"
@@ -41,6 +51,7 @@ func run(args []string, out io.Writer) error {
 	policy := fs.String("policy", "vdce", "vdce|fifo|random|rrobin|minmin")
 	seed := fs.Int64("seed", 1, "seed")
 	ganttWidth := fs.Int("gantt-width", 80, "gantt chart width")
+	chaosName := fs.String("chaos", "", "fault scenario: kill-quarter|rolling-restart|site-partition")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -93,36 +104,44 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "workload %s: %s\n\n", w.G.Name, stats)
 
-	// Schedule.
-	var table *core.AllocationTable
-	switch *policy {
-	case "vdce", "fifo":
-		kk := *k
-		if kk < 0 {
-			kk = *sites - 1
+	// Schedule. The closure re-runs the SAME policy against the current
+	// repository state, so the chaos path's post-failure reallocation
+	// measures fault recovery rather than a policy switch.
+	scheduleOnce := func() (*core.AllocationTable, error) {
+		switch *policy {
+		case "vdce", "fifo":
+			kk := *k
+			if kk < 0 {
+				kk = *sites - 1
+			}
+			var remotes []core.SiteService
+			for _, s := range locals[1:] {
+				remotes = append(remotes, s)
+			}
+			sched := core.NewScheduler(locals[0], remotes, tb.Net, kk)
+			if *policy == "fifo" {
+				sched.Priority = core.FIFOPriority
+			}
+			return sched.Schedule(w.G, w.CostFunc())
+		case "random":
+			return core.ScheduleRandom(w.G, locals, tb.Net, *seed)
+		case "rrobin":
+			return core.ScheduleRoundRobin(w.G, locals, tb.Net)
+		case "minmin":
+			return core.ScheduleMinMin(w.G, locals, tb.Net)
+		default:
+			return nil, fmt.Errorf("unknown policy %q", *policy)
 		}
-		var remotes []core.SiteService
-		for _, s := range locals[1:] {
-			remotes = append(remotes, s)
-		}
-		sched := core.NewScheduler(locals[0], remotes, tb.Net, kk)
-		if *policy == "fifo" {
-			sched.Priority = core.FIFOPriority
-		}
-		table, err = sched.Schedule(w.G, w.CostFunc())
-	case "random":
-		table, err = core.ScheduleRandom(w.G, locals, tb.Net, *seed)
-	case "rrobin":
-		table, err = core.ScheduleRoundRobin(w.G, locals, tb.Net)
-	case "minmin":
-		table, err = core.ScheduleMinMin(w.G, locals, tb.Net)
-	default:
-		return fmt.Errorf("unknown policy %q", *policy)
 	}
+	table, err := scheduleOnce()
 	if err != nil {
 		return err
 	}
 	fmt.Fprintln(out, table)
+
+	if *chaosName != "" {
+		return runChaos(out, tb, table, *chaosName, *seed, scheduleOnce)
+	}
 
 	// Simulate and render.
 	res, err := sim.Run(w.G, table, tb.Net)
@@ -132,5 +151,92 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprint(out, res)
 	fmt.Fprintln(out)
 	fmt.Fprint(out, trace.Gantt(trace.FromSim(w.G, table, res), *ganttWidth))
+	return nil
+}
+
+// runChaos plays the named fault scenario over the already-scheduled
+// testbed on a synthetic clock, drives the failure detector through
+// suspicion and confirmation after every burst of same-offset events,
+// reschedules the workload on the survivors with the SAME policy that
+// produced the original table, and prints a recovery report comparing
+// the two allocations.
+func runChaos(out io.Writer, tb *testbed.Testbed, before *core.AllocationTable, name string, seed int64, reschedule func() (*core.AllocationTable, error)) error {
+	sc, err := chaos.Named(name, tb, 4*time.Second)
+	if err != nil {
+		return err
+	}
+	det := detect.New(detect.Config{SuspicionTimeout: 10 * time.Millisecond, ConfirmQuorum: 2})
+	for _, s := range tb.Sites {
+		det.AddSite(s.Name, s.Repo.Resources)
+	}
+	inj := chaos.NewInjector(tb, seed)
+
+	fmt.Fprintf(out, "chaos scenario %q (seed %d): %d events\n", sc.Name, seed, len(sc.Events))
+	// Synthetic clock: heartbeats land at now, then the clock jumps past
+	// the suspicion timeout before each detector round, so silence is
+	// judged instantly instead of in wall time.
+	now := time.Unix(0, 0)
+	detection := func() error {
+		for round := 0; round < 3; round++ {
+			now = now.Add(25 * time.Millisecond)
+			for _, h := range tb.AllHosts() {
+				if h.Reachable() {
+					det.Observe(h.Name, now)
+				}
+			}
+			trs, err := det.Tick(now)
+			if err != nil {
+				return err
+			}
+			for _, tr := range trs {
+				fmt.Fprintf(out, "  detector: %s %s -> %s\n", tr.Host, tr.From, tr.To)
+			}
+		}
+		return nil
+	}
+	// Apply bursts of same-offset events, detecting after each burst.
+	for i := 0; i < len(sc.Events); {
+		j := i
+		for j < len(sc.Events) && sc.Events[j].At == sc.Events[i].At {
+			a, err := inj.Apply(sc.Events[j])
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  inject: %s\n", a)
+			j++
+		}
+		if err := detection(); err != nil {
+			return err
+		}
+		i = j
+	}
+
+	dead := det.Counts()[detect.Dead]
+	sus, conf, rec, rounds := det.Stats()
+	fmt.Fprintf(out, "detector stats: %d suspicions, %d confirmations, %d recoveries over %d rounds\n",
+		sus, conf, rec, rounds)
+
+	// Reschedule on the survivors (same policy) and diff the allocations.
+	after, err := reschedule()
+	if err != nil {
+		return fmt.Errorf("post-chaos reschedule: %w (%d hosts confirmed dead)", err, dead)
+	}
+	moved := 0
+	for _, e := range after.Entries {
+		if p := before.Placement(e.Task); p == nil || p.Hosts[0] != e.Hosts[0] {
+			moved++
+		}
+	}
+	fmt.Fprintln(out, after)
+	fmt.Fprintf(out, "recovery: %d/%d placements moved, %d hosts confirmed dead, %d recovered\n",
+		moved, len(after.Entries), dead, rec)
+	// Rescheduled placements must avoid every confirmed-dead host.
+	for _, e := range after.Entries {
+		for _, h := range e.Hosts {
+			if st, ok := det.State(h); ok && st == detect.Dead {
+				return fmt.Errorf("task %d rescheduled onto confirmed-dead host %s", e.Task, h)
+			}
+		}
+	}
 	return nil
 }

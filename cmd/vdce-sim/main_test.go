@@ -34,6 +34,28 @@ func TestRunEveryPolicy(t *testing.T) {
 	}
 }
 
+func TestRunChaosScenarios(t *testing.T) {
+	for _, scenario := range []string{"kill-quarter", "rolling-restart", "site-partition"} {
+		t.Run(scenario, func(t *testing.T) {
+			var out strings.Builder
+			err := run([]string{"-family", "layered", "-tasks", "10", "-sites", "2", "-hosts", "3",
+				"-seed", "1", "-chaos", scenario}, &out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := out.String()
+			for _, want := range []string{
+				"chaos scenario", "inject:", "-> suspect", "-> dead",
+				"detector stats:", "recovery:", "Resource allocation table",
+			} {
+				if !strings.Contains(got, want) {
+					t.Errorf("chaos output missing %q:\n%s", want, got)
+				}
+			}
+		})
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-family", "no-such-family"}, &out); err == nil {
@@ -41,5 +63,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-policy", "no-such-policy", "-tasks", "4"}, &out); err == nil {
 		t.Error("unknown policy accepted")
+	}
+	if err := run([]string{"-tasks", "4", "-chaos", "no-such-scenario"}, &out); err == nil {
+		t.Error("unknown chaos scenario accepted")
 	}
 }

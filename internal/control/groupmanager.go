@@ -59,6 +59,13 @@ type GroupManager struct {
 	// long a host may stay silent before being declared down.
 	EchoPeriod  time.Duration
 	EchoTimeout time.Duration
+	// Heartbeat, when set, receives every measurement the group's
+	// monitor daemons deliver — BEFORE the significant-change filter —
+	// so a failure detector can track per-host last-seen times from the
+	// full stream. The filter exists to spare the Site Manager link;
+	// heartbeats must not be filtered or a steady host would look
+	// silent. Set it before Run starts.
+	Heartbeat monitor.Sink
 
 	hosts    []*testbed.Host
 	daemons  []*monitor.Daemon
@@ -107,6 +114,9 @@ func (gm *GroupManager) Stats() (received, forwarded, echoes int64) {
 // deterministic tests; Run wires it to the daemons.
 func (gm *GroupManager) Ingest(host string, s repository.WorkloadSample) error {
 	gm.received.Add(1)
+	if gm.Heartbeat != nil {
+		gm.Heartbeat(host, s)
+	}
 	gm.mu.Lock()
 	prev, seen := gm.lastReported[host]
 	significant := !seen ||

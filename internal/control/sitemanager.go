@@ -40,6 +40,16 @@ type SiteManager struct {
 	// counters for the monitoring experiments
 	workloadUpdates atomic.Int64
 	failureReports  atomic.Int64
+
+	// hooks intercept echo-detected failure/recovery notices before they
+	// touch the repository (see InterceptFailureNotices).
+	hooks atomic.Pointer[failureHooks]
+}
+
+// failureHooks routes failure-detection notices to an external policy.
+type failureHooks struct {
+	onFailure  func(protocol.FailureNotice) bool
+	onRecovery func(protocol.RecoveryNotice) bool
 }
 
 // StartSiteManager serves the site's RPC interface on addr
@@ -142,15 +152,36 @@ func (sm *SiteManager) ApplyWorkloads(batch protocol.WorkloadBatch) error {
 	return err
 }
 
-// ApplyFailure marks a host down in the resource-performance database.
+// InterceptFailureNotices installs hooks that see every echo-detected
+// failure/recovery notice before the repository does; a hook returning
+// true consumes the notice (no direct status flip). The failure
+// detector installs these so echo reports become quorum votes — and
+// liveness flips happen in single batched epochs — instead of each
+// notice immediately rewriting the host's status.
+func (sm *SiteManager) InterceptFailureNotices(
+	onFailure func(protocol.FailureNotice) bool,
+	onRecovery func(protocol.RecoveryNotice) bool,
+) {
+	sm.hooks.Store(&failureHooks{onFailure: onFailure, onRecovery: onRecovery})
+}
+
+// ApplyFailure marks a host down in the resource-performance database,
+// unless an installed interceptor consumes the notice.
 func (sm *SiteManager) ApplyFailure(n protocol.FailureNotice) error {
 	sm.failureReports.Add(1)
+	if h := sm.hooks.Load(); h != nil && h.onFailure != nil && h.onFailure(n) {
+		return nil
+	}
 	return sm.site.Repo.Resources.SetStatus(n.Host, repository.HostDown)
 }
 
-// ApplyRecovery marks a host up again.
+// ApplyRecovery marks a host up again, unless an installed interceptor
+// consumes the notice.
 func (sm *SiteManager) ApplyRecovery(n protocol.RecoveryNotice) error {
 	sm.failureReports.Add(1)
+	if h := sm.hooks.Load(); h != nil && h.onRecovery != nil && h.onRecovery(n) {
+		return nil
+	}
 	return sm.site.Repo.Resources.SetStatus(n.Host, repository.HostUp)
 }
 

@@ -1,0 +1,341 @@
+// Package detect implements the VDCE failure-detection service: a
+// heartbeat-based detector that consumes monitor reports, tracks
+// per-host last-seen timestamps, and moves hosts through
+// healthy -> suspect -> confirmed-dead -> recovered.
+//
+// The paper's Group Managers detect failures with echo packets and
+// immediately mark hosts down; on a wide-area system that turns every
+// transient network blip into a scheduling blackout. The detector
+// instead requires sustained silence (SuspicionTimeout) plus a
+// confirmation quorum of independent suspicion votes — silent
+// evaluation rounds and echo-detected failures both count — before a
+// host is confirmed dead. Confirmed transitions for a site land in its
+// resource-performance database as ONE copy-on-write epoch per
+// evaluation round (the ApplyRound batch path), so the lock-free
+// scheduling read side always sees a coherent liveness picture and the
+// ranked-host caches invalidate once per round, not once per host.
+package detect
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vdce/internal/repository"
+)
+
+// State is a host's position in the failure-detection lifecycle.
+type State int
+
+const (
+	// Healthy hosts heartbeat within the suspicion timeout.
+	Healthy State = iota
+	// Suspect hosts have been silent longer than the suspicion timeout
+	// but are not yet confirmed dead; the repository still lists them up.
+	Suspect
+	// Dead hosts accumulated a confirmation quorum of suspicion votes;
+	// the repository marks them down and running tasks are interrupted.
+	Dead
+	// Recovered hosts heartbeated again after being confirmed dead; the
+	// repository marks them up. Recovered behaves like Healthy (the next
+	// silence makes it Suspect) but keeps the history visible.
+	Recovered
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	case Recovered:
+		return "recovered"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Alive reports whether a host in this state is usable for scheduling.
+func (s State) Alive() bool { return s == Healthy || s == Recovered }
+
+// Transition is one published state change.
+type Transition struct {
+	Host string
+	Site string
+	From State
+	To   State
+	At   time.Time
+}
+
+// Config parameterizes a Detector. Zero fields take the listed defaults.
+type Config struct {
+	// SuspicionTimeout is how long a host may stay silent before it
+	// becomes suspect. It should be a small multiple of the monitor
+	// period so one dropped report never raises suspicion. Default 3s.
+	SuspicionTimeout time.Duration
+	// ConfirmQuorum is how many suspicion votes confirm a death. Every
+	// evaluation round a suspect host remains silent contributes one
+	// vote, and every echo-detected failure report contributes one, so
+	// independent observers shorten confirmation. Default 2.
+	ConfirmQuorum int
+	// TickPeriod is the cadence of Run's evaluation rounds. Default 1s.
+	TickPeriod time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.SuspicionTimeout <= 0 {
+		c.SuspicionTimeout = 3 * time.Second
+	}
+	if c.ConfirmQuorum <= 0 {
+		c.ConfirmQuorum = 2
+	}
+	if c.TickPeriod <= 0 {
+		c.TickPeriod = time.Second
+	}
+}
+
+// hostState is the detector's bookkeeping for one host.
+type hostState struct {
+	site     string
+	state    State
+	lastSeen time.Time // zero until the first heartbeat or first Tick
+	votes    int       // suspicion votes accumulated since last heartbeat
+}
+
+// Detector is the failure-detection service. One instance watches every
+// registered site; heartbeats arrive via Observe (and echo votes via
+// ReportFailure), and Tick evaluates all hosts, publishing confirmed
+// transitions to each site's repository as a single epoch.
+type Detector struct {
+	cfg Config
+
+	mu    sync.Mutex
+	sites map[string]*repository.ResourceDB
+	hosts map[string]*hostState
+	subs  []func(Transition)
+
+	// counters for observability and tests
+	suspicions    atomic.Int64
+	confirmations atomic.Int64
+	recoveries    atomic.Int64
+	rounds        atomic.Int64
+}
+
+// New returns a detector with no sites registered.
+func New(cfg Config) *Detector {
+	cfg.fillDefaults()
+	return &Detector{
+		cfg:   cfg,
+		sites: make(map[string]*repository.ResourceDB),
+		hosts: make(map[string]*hostState),
+	}
+}
+
+// AddSite registers a site's resource database: every host currently in
+// it is watched, and confirmed transitions for the site are published
+// through it. Hosts start Healthy with their silence clock starting at
+// the first heartbeat or the first evaluation round, whichever comes
+// first, so a freshly registered site is never instantly suspect.
+func (d *Detector) AddSite(site string, db *repository.ResourceDB) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.sites[site] = db
+	for _, v := range db.Views() {
+		if _, ok := d.hosts[v.HostName]; !ok {
+			d.hosts[v.HostName] = &hostState{site: site}
+		}
+	}
+}
+
+// Subscribe registers fn to receive every published transition. fn is
+// called after the round's repository epoch is published, outside the
+// detector's lock, in deterministic (host name) order within a round.
+func (d *Detector) Subscribe(fn func(Transition)) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.subs = append(d.subs, fn)
+}
+
+// Observe records a heartbeat: any monitor report for the host counts.
+// Timestamps never move the last-seen clock backwards. A fresh
+// heartbeat clears accumulated suspicion votes — proof of life outranks
+// any number of missed echoes. Unknown hosts are ignored (a report can
+// outlive a site registration change).
+func (d *Detector) Observe(host string, at time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h, ok := d.hosts[host]
+	if !ok {
+		return
+	}
+	if at.After(h.lastSeen) {
+		h.lastSeen = at
+		h.votes = 0
+	}
+}
+
+// ReportFailure records one external suspicion vote — typically a Group
+// Manager's echo timeout. Votes accumulate toward the confirmation
+// quorum but never confirm by themselves: transitions happen only in
+// Tick, so the repository sees at most one liveness epoch per round.
+// A vote older than the host's latest heartbeat is discarded: the
+// heartbeat already refuted that observation.
+func (d *Detector) ReportFailure(host string, at time.Time) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h, ok := d.hosts[host]
+	if !ok {
+		return
+	}
+	if h.state == Dead || !at.After(h.lastSeen) {
+		return
+	}
+	h.votes++
+}
+
+// Tick runs one evaluation round at the given time: silent hosts accrue
+// suspicion, quorums confirm deaths, heartbeating suspects heal, and
+// heartbeating dead hosts recover. All confirmed status changes for a
+// site are published as one ApplyRound epoch; subscribers then see the
+// round's transitions in host-name order. It returns the transitions.
+func (d *Detector) Tick(now time.Time) ([]Transition, error) {
+	d.rounds.Add(1)
+	var trs []Transition
+	updates := make(map[string][]repository.RoundUpdate)
+
+	d.mu.Lock()
+	names := make([]string, 0, len(d.hosts))
+	for name := range d.hosts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := d.hosts[name]
+		if h.lastSeen.IsZero() {
+			// Never heard from: start the silence clock at this round.
+			h.lastSeen = now
+			continue
+		}
+		silent := now.Sub(h.lastSeen) > d.cfg.SuspicionTimeout
+		switch h.state {
+		case Healthy, Recovered:
+			if silent {
+				from := h.state
+				h.state = Suspect
+				// This round's silence is one vote; echo-timeout votes
+				// accumulated since the last real heartbeat (Observe
+				// resets them) count toward the same quorum, so
+				// independent observers genuinely shorten confirmation.
+				h.votes++
+				d.suspicions.Add(1)
+				trs = append(trs, Transition{Host: name, Site: h.site, From: from, To: Suspect, At: now})
+				if h.votes >= d.cfg.ConfirmQuorum {
+					h.state = Dead
+					d.confirmations.Add(1)
+					trs = append(trs, Transition{Host: name, Site: h.site, From: Suspect, To: Dead, At: now})
+					updates[h.site] = append(updates[h.site],
+						repository.RoundUpdate{Host: name, Status: repository.HostDown})
+				}
+			}
+		case Suspect:
+			if !silent {
+				h.state = Healthy
+				h.votes = 0
+				trs = append(trs, Transition{Host: name, Site: h.site, From: Suspect, To: Healthy, At: now})
+				continue
+			}
+			h.votes++
+			if h.votes >= d.cfg.ConfirmQuorum {
+				h.state = Dead
+				d.confirmations.Add(1)
+				trs = append(trs, Transition{Host: name, Site: h.site, From: Suspect, To: Dead, At: now})
+				updates[h.site] = append(updates[h.site],
+					repository.RoundUpdate{Host: name, Status: repository.HostDown})
+			}
+		case Dead:
+			if !silent {
+				h.state = Recovered
+				h.votes = 0
+				d.recoveries.Add(1)
+				trs = append(trs, Transition{Host: name, Site: h.site, From: Dead, To: Recovered, At: now})
+				updates[h.site] = append(updates[h.site],
+					repository.RoundUpdate{Host: name, Status: repository.HostUp})
+			}
+		}
+	}
+	subs := append([]func(Transition){}, d.subs...)
+	dbs := make(map[string]*repository.ResourceDB, len(updates))
+	for site := range updates {
+		dbs[site] = d.sites[site]
+	}
+	d.mu.Unlock()
+
+	// Publish each site's confirmed changes as one epoch, then notify.
+	var firstErr error
+	sites := make([]string, 0, len(updates))
+	for site := range updates {
+		sites = append(sites, site)
+	}
+	sort.Strings(sites)
+	for _, site := range sites {
+		if db := dbs[site]; db != nil {
+			if _, err := db.ApplyRound(updates[site]); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("detect: publish %s round: %w", site, err)
+			}
+		}
+	}
+	for _, tr := range trs {
+		for _, fn := range subs {
+			fn(tr)
+		}
+	}
+	return trs, firstErr
+}
+
+// Run evaluates rounds every TickPeriod until ctx is done.
+func (d *Detector) Run(ctx context.Context) {
+	t := time.NewTicker(d.cfg.TickPeriod)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-t.C:
+			_, _ = d.Tick(now)
+		}
+	}
+}
+
+// State returns the detector's current view of one host.
+func (d *Detector) State(host string) (State, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h, ok := d.hosts[host]
+	if !ok {
+		return Healthy, false
+	}
+	return h.state, true
+}
+
+// Counts returns how many hosts sit in each state.
+func (d *Detector) Counts() map[State]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[State]int)
+	for _, h := range d.hosts {
+		out[h.state]++
+	}
+	return out
+}
+
+// Stats reports (suspicions raised, deaths confirmed, recoveries seen,
+// evaluation rounds run) since the detector was created.
+func (d *Detector) Stats() (suspicions, confirmations, recoveries, rounds int64) {
+	return d.suspicions.Load(), d.confirmations.Load(), d.recoveries.Load(), d.rounds.Load()
+}

@@ -1,0 +1,331 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"vdce/internal/repository"
+)
+
+// fixture builds a detector over one site with the given hosts, all
+// heartbeating at t0.
+func fixture(t *testing.T, cfg Config, hosts ...string) (*Detector, *repository.ResourceDB, time.Time) {
+	t.Helper()
+	db := repository.NewResourceDB()
+	for _, h := range hosts {
+		if err := db.AddHost(repository.ResourceInfo{
+			HostName: h, Site: "s0", TotalMem: 1 << 20,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := New(cfg)
+	d.AddSite("s0", db)
+	t0 := time.Unix(1000, 0)
+	for _, h := range hosts {
+		d.Observe(h, t0)
+	}
+	return d, db, t0
+}
+
+func status(t *testing.T, db *repository.ResourceDB, host string) repository.HostStatus {
+	t.Helper()
+	v, ok := db.View(host)
+	if !ok {
+		t.Fatalf("host %s missing from db", host)
+	}
+	return v.Status
+}
+
+func TestLifecycleHealthySuspectDeadRecovered(t *testing.T) {
+	cfg := Config{SuspicionTimeout: time.Second, ConfirmQuorum: 2}
+	d, db, t0 := fixture(t, cfg, "a", "b")
+
+	// Round 1 at t0+2s: "a" keeps heartbeating, "b" goes silent.
+	d.Observe("a", t0.Add(2*time.Second))
+	trs, err := d.Tick(t0.Add(2 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 1 || trs[0].Host != "b" || trs[0].To != Suspect {
+		t.Fatalf("round 1 transitions = %+v, want b -> suspect", trs)
+	}
+	if st, _ := d.State("b"); st != Suspect {
+		t.Fatalf("b state = %v", st)
+	}
+	// Suspicion is not confirmation: the repository still lists b up.
+	if got := status(t, db, "b"); got != repository.HostUp {
+		t.Fatalf("suspect b already marked %s", got)
+	}
+
+	// Round 2: still silent -> quorum of 2 reached -> confirmed dead.
+	d.Observe("a", t0.Add(4*time.Second))
+	trs, err = d.Tick(t0.Add(4 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 1 || trs[0].To != Dead || trs[0].From != Suspect {
+		t.Fatalf("round 2 transitions = %+v, want b suspect -> dead", trs)
+	}
+	if got := status(t, db, "b"); got != repository.HostDown {
+		t.Fatalf("confirmed-dead b marked %s, want down", got)
+	}
+
+	// b heartbeats again -> recovered, repository back up.
+	d.Observe("b", t0.Add(6*time.Second))
+	d.Observe("a", t0.Add(6*time.Second))
+	trs, err = d.Tick(t0.Add(6 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 1 || trs[0].To != Recovered {
+		t.Fatalf("round 3 transitions = %+v, want b -> recovered", trs)
+	}
+	if got := status(t, db, "b"); got != repository.HostUp {
+		t.Fatalf("recovered b marked %s, want up", got)
+	}
+	if !Healthy.Alive() || !Recovered.Alive() || Suspect.Alive() || Dead.Alive() {
+		t.Fatal("state aliveness misclassified")
+	}
+
+	sus, conf, rec, rounds := d.Stats()
+	if sus != 1 || conf != 1 || rec != 1 || rounds != 3 {
+		t.Fatalf("stats = %d/%d/%d/%d", sus, conf, rec, rounds)
+	}
+}
+
+func TestSuspectHealsOnHeartbeat(t *testing.T) {
+	cfg := Config{SuspicionTimeout: time.Second, ConfirmQuorum: 3}
+	d, db, t0 := fixture(t, cfg, "a")
+
+	if _, err := d.Tick(t0.Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := d.State("a"); st != Suspect {
+		t.Fatalf("a = %v, want suspect", st)
+	}
+	// The heartbeat returns before the quorum fills: back to healthy,
+	// votes reset, repository untouched throughout.
+	gen := db.Generation()
+	d.Observe("a", t0.Add(3*time.Second))
+	trs, err := d.Tick(t0.Add(3 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 1 || trs[0].From != Suspect || trs[0].To != Healthy {
+		t.Fatalf("transitions = %+v, want suspect -> healthy", trs)
+	}
+	if db.Generation() != gen {
+		t.Fatal("suspicion round published a repository epoch")
+	}
+	// A fresh silence must re-earn the full quorum.
+	if _, err := d.Tick(t0.Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := d.State("a"); st != Suspect {
+		t.Fatalf("a = %v, want suspect again", st)
+	}
+	if got := status(t, db, "a"); got != repository.HostUp {
+		t.Fatalf("a marked %s before quorum", got)
+	}
+}
+
+func TestEchoVotesAccelerateConfirmation(t *testing.T) {
+	cfg := Config{SuspicionTimeout: time.Second, ConfirmQuorum: 3}
+	d, db, t0 := fixture(t, cfg, "a")
+
+	// Two echo-timeout votes plus the first silent round = quorum of 3:
+	// one evaluation round confirms instead of three.
+	d.ReportFailure("a", t0.Add(1500*time.Millisecond))
+	d.ReportFailure("a", t0.Add(1600*time.Millisecond))
+	trs, err := d.Tick(t0.Add(2 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 2 || trs[0].To != Suspect || trs[1].To != Dead {
+		t.Fatalf("transitions = %+v, want suspect then dead in one round", trs)
+	}
+	if got := status(t, db, "a"); got != repository.HostDown {
+		t.Fatalf("a marked %s, want down", got)
+	}
+}
+
+// TestEchoVotesSurviveUntilSuspicion: votes reported while the silence
+// is still below the suspicion threshold must not be wiped by an
+// intermediate evaluation round — only a real heartbeat clears them.
+func TestEchoVotesSurviveUntilSuspicion(t *testing.T) {
+	cfg := Config{SuspicionTimeout: time.Second, ConfirmQuorum: 3}
+	d, db, t0 := fixture(t, cfg, "a")
+
+	// Crash at t0: heartbeats stop; two echo timeouts land before the
+	// suspicion threshold is crossed.
+	d.ReportFailure("a", t0.Add(200*time.Millisecond))
+	d.ReportFailure("a", t0.Add(400*time.Millisecond))
+	// A round before the threshold sees nothing yet — and must not
+	// reset the accumulated votes.
+	if trs, _ := d.Tick(t0.Add(500 * time.Millisecond)); len(trs) != 0 {
+		t.Fatalf("pre-threshold transitions = %+v", trs)
+	}
+	// First round past the threshold: 2 echo votes + this round's
+	// silence fill the quorum of 3 immediately.
+	trs, err := d.Tick(t0.Add(1500 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 2 || trs[1].To != Dead {
+		t.Fatalf("transitions = %+v, want suspect+dead in the first silent round", trs)
+	}
+	if got := status(t, db, "a"); got != repository.HostDown {
+		t.Fatalf("a marked %s", got)
+	}
+}
+
+// TestStaleEchoVoteDiscarded: a failure notice older than the host's
+// latest heartbeat is refuted evidence and must not count toward the
+// quorum.
+func TestStaleEchoVoteDiscarded(t *testing.T) {
+	cfg := Config{SuspicionTimeout: time.Second, ConfirmQuorum: 2}
+	d, db, t0 := fixture(t, cfg, "a")
+
+	d.Observe("a", t0.Add(2*time.Second))
+	// Delivered late: the echo timed out before the heartbeat above.
+	d.ReportFailure("a", t0.Add(1*time.Second))
+	trs, err := d.Tick(t0.Add(3500 * time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh silence alone: one vote — suspect, not dead. A counted
+	// stale vote would have confirmed death here.
+	if len(trs) != 1 || trs[0].To != Suspect {
+		t.Fatalf("transitions = %+v, want suspect only", trs)
+	}
+	if got := status(t, db, "a"); got != repository.HostUp {
+		t.Fatalf("a marked %s on a stale vote", got)
+	}
+}
+
+func TestEchoVotesAloneNeverConfirm(t *testing.T) {
+	cfg := Config{SuspicionTimeout: time.Second, ConfirmQuorum: 2}
+	d, db, t0 := fixture(t, cfg, "a")
+
+	// A flood of echo votes while the heartbeat stream is alive must not
+	// kill the host: heartbeats reset the vote count every round.
+	for i := 0; i < 10; i++ {
+		d.ReportFailure("a", t0)
+	}
+	d.Observe("a", t0.Add(2*time.Second))
+	trs, err := d.Tick(t0.Add(2 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 0 {
+		t.Fatalf("transitions = %+v, want none", trs)
+	}
+	if st, _ := d.State("a"); st != Healthy {
+		t.Fatalf("a = %v, want healthy", st)
+	}
+	if got := status(t, db, "a"); got != repository.HostUp {
+		t.Fatalf("a marked %s", got)
+	}
+}
+
+// TestRoundPublishesSingleEpoch is the batching contract: however many
+// hosts are confirmed in one round, the site repository moves exactly
+// one generation, so the lock-free read side sees one coherent flip.
+func TestRoundPublishesSingleEpoch(t *testing.T) {
+	cfg := Config{SuspicionTimeout: time.Second, ConfirmQuorum: 1}
+	d, db, t0 := fixture(t, cfg, "a", "b", "c", "d")
+
+	gen := db.Generation()
+	trs, err := d.Tick(t0.Add(2 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := 0
+	for _, tr := range trs {
+		if tr.To == Dead {
+			dead++
+		}
+	}
+	if dead != 4 {
+		t.Fatalf("confirmed %d deaths, want 4: %+v", dead, trs)
+	}
+	if got := db.Generation(); got != gen+1 {
+		t.Fatalf("4 confirmations moved the epoch %d times, want 1", got-gen)
+	}
+	for _, h := range []string{"a", "b", "c", "d"} {
+		if got := status(t, db, h); got != repository.HostDown {
+			t.Fatalf("%s marked %s", h, got)
+		}
+	}
+}
+
+func TestNeverSeenHostGetsGracePeriod(t *testing.T) {
+	db := repository.NewResourceDB()
+	if err := db.AddHost(repository.ResourceInfo{HostName: "quiet", Site: "s0"}); err != nil {
+		t.Fatal(err)
+	}
+	d := New(Config{SuspicionTimeout: time.Second, ConfirmQuorum: 1})
+	d.AddSite("s0", db)
+	t0 := time.Unix(2000, 0)
+	// First round only starts the silence clock; no instant suspicion.
+	if trs, _ := d.Tick(t0); len(trs) != 0 {
+		t.Fatalf("first round transitions = %+v", trs)
+	}
+	// But sustained silence after that is a real failure.
+	trs, err := d.Tick(t0.Add(2 * time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trs) != 2 || trs[len(trs)-1].To != Dead {
+		t.Fatalf("transitions = %+v, want suspect+dead", trs)
+	}
+}
+
+func TestUnknownHostsIgnored(t *testing.T) {
+	d, _, t0 := fixture(t, Config{}, "a")
+	d.Observe("ghost", t0)
+	d.ReportFailure("ghost", t0)
+	if _, ok := d.State("ghost"); ok {
+		t.Fatal("ghost host tracked")
+	}
+}
+
+func TestSubscribersSeeOrderedTransitions(t *testing.T) {
+	cfg := Config{SuspicionTimeout: time.Second, ConfirmQuorum: 1}
+	d, db, t0 := fixture(t, cfg, "b", "a", "c")
+
+	var got []Transition
+	d.Subscribe(func(tr Transition) {
+		// The round's epoch must already be published when a subscriber
+		// runs — the engine relies on the repository agreeing with the
+		// transition it is reacting to.
+		if tr.To == Dead {
+			if v, _ := db.View(tr.Host); v.Status != repository.HostDown {
+				t.Errorf("subscriber saw %s dead before the epoch published", tr.Host)
+			}
+		}
+		got = append(got, tr)
+	})
+	if _, err := d.Tick(t0.Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	var deadOrder []string
+	for _, tr := range got {
+		if tr.To == Dead {
+			deadOrder = append(deadOrder, tr.Host)
+		}
+	}
+	want := []string{"a", "b", "c"}
+	if len(deadOrder) != 3 {
+		t.Fatalf("dead transitions = %v", deadOrder)
+	}
+	for i := range want {
+		if deadOrder[i] != want[i] {
+			t.Fatalf("transition order %v, want %v", deadOrder, want)
+		}
+	}
+	if c := d.Counts(); c[Dead] != 3 {
+		t.Fatalf("counts = %v", c)
+	}
+}

@@ -2,7 +2,9 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"vdce/internal/afg"
@@ -73,10 +75,11 @@ func (ac *appController) run(ctx context.Context) error {
 }
 
 // executeWithRescheduling runs the task, moving it to a new host when
-// the Application Controller terminates it (load threshold or failure).
+// the Application Controller terminates it (load threshold, host
+// failure, or a detector-confirmed death).
 func (ac *appController) executeWithRescheduling(ctx context.Context, in []tasklib.Value) ([]tasklib.Value, error) {
 	e := ac.app.engine
-	var excluded []string
+	excluded := make(map[string]bool)
 	for attempt := 1; attempt <= ac.app.maxAttempts; attempt++ {
 		placement := ac.app.placement(ac.task.ID)
 		if placement == nil {
@@ -99,24 +102,52 @@ func (ac *appController) executeWithRescheduling(ctx context.Context, in []taskl
 			}
 			return outs, nil
 		}
-		if err != errTerminated {
+		var term *terminationError
+		if !errors.As(err, &term) {
 			return nil, err
 		}
 		// Task rescheduling request: ask for a new placement that avoids
-		// the offending host.
+		// the machine that actually misbehaved.
 		if e.Reschedule == nil {
-			return nil, fmt.Errorf("exec: task %d terminated on %s and no rescheduler configured",
-				ac.task.ID, primary.Name)
+			return nil, fmt.Errorf("exec: task %d terminated on %s (%s) and no rescheduler configured",
+				ac.task.ID, term.host, term.reason)
 		}
-		excluded = append(excluded, primary.Name)
+		if term.overload() {
+			ac.app.emit(Event{Type: EventOverload, Task: ac.task.ID, TaskName: ac.task.Name,
+				Host: term.host, Reason: term.reason})
+		} else {
+			ac.app.recordFailedHost(term.host)
+			ac.app.emit(Event{Type: EventHostFailure, Task: ac.task.ID, TaskName: ac.task.Name,
+				Host: term.host, Reason: term.reason})
+		}
+		if attempt == ac.app.maxAttempts {
+			// No attempt left to use a new placement: skip the wasted
+			// scheduling pass (and its EventRescheduled — 'will re-run
+			// there' would be a lie) and report exhaustion.
+			break
+		}
+		excluded[term.host] = true
 		ac.app.mu.Lock()
 		ac.app.rescheduled++
 		ac.app.mu.Unlock()
-		np, rerr := e.Reschedule(ac.app.g, ac.task.ID, excluded)
+		// The exclusion list carries every host this task was chased off
+		// plus every host the detector currently holds confirmed dead —
+		// the repository usually agrees already (the detector published
+		// the down status), but a death confirmed microseconds ago must
+		// not win the placement because the round's snapshot predates it.
+		exclude := make([]string, 0, len(excluded))
+		for h := range excluded {
+			exclude = append(exclude, h)
+		}
+		sort.Strings(exclude)
+		exclude = append(exclude, e.deadHostsExcept(excluded)...)
+		np, rerr := e.Reschedule(ac.app.g, ac.task.ID, exclude)
 		if rerr != nil {
 			return nil, fmt.Errorf("exec: reschedule task %d: %w", ac.task.ID, rerr)
 		}
 		ac.app.setPlacement(ac.task.ID, np)
+		ac.app.emit(Event{Type: EventRescheduled, Task: ac.task.ID, TaskName: ac.task.Name,
+			Host: np.Hosts[0]})
 	}
 	return nil, fmt.Errorf("exec: task %d exhausted %d attempts", ac.task.ID, ac.app.maxAttempts)
 }
@@ -125,6 +156,17 @@ func (ac *appController) executeWithRescheduling(ctx context.Context, in []taskl
 // the load/failure watchdog.
 func (ac *appController) attempt(ctx context.Context, in []tasklib.Value, placement *core.Placement, primary *testbed.Host, attemptNo int) ([]tasklib.Value, TaskRun, error) {
 	e := ac.app.engine
+	// The watchdog supervises every machine of the placement: a parallel
+	// task dies with any of its nodes, not just the primary.
+	watch := make([]*testbed.Host, 0, len(placement.Hosts))
+	for _, name := range placement.Hosts {
+		h, err := e.TB.Host(name)
+		if err != nil {
+			return nil, TaskRun{Task: ac.task.ID, TaskName: ac.task.Name, Host: primary.Name,
+				Attempt: attemptNo, Start: time.Now(), End: time.Now()}, err
+		}
+		watch = append(watch, h)
+	}
 	// One task per machine at a time — engine-wide, so tasks of
 	// different applications serialize on shared hosts.
 	unlock := e.lockHosts(placement.Hosts)
@@ -174,10 +216,10 @@ compute:
 		case oc = <-done:
 			break compute
 		case <-tick.C:
-			if kill, _ := ac.shouldTerminate(primary); kill {
+			if term := ac.shouldTerminate(watch); term != nil {
 				tr.End = time.Now()
 				tr.Terminated = true
-				return nil, tr, errTerminated
+				return nil, tr, term
 			}
 		}
 	}
@@ -204,14 +246,29 @@ compute:
 				case <-timer.C:
 					break dilate
 				case <-tick.C:
-					if kill, _ := ac.shouldTerminate(primary); kill {
+					if term := ac.shouldTerminate(watch); term != nil {
 						tr.End = time.Now()
 						tr.Terminated = true
-						return nil, tr, errTerminated
+						return nil, tr, term
 					}
 				}
 			}
 			elapsed += extra
+		}
+	}
+
+	// Results must leave the machines: however far the local computation
+	// got, a host that crashed, was confirmed dead, or is partitioned at
+	// delivery time cannot hand its outputs to anyone. Without this
+	// check a short task could "finish" on a partitioned host before the
+	// detector confirms the silence — delivering data the network model
+	// says never arrived. (A load spike, by contrast, does not invalidate
+	// completed work, so the threshold is deliberately not re-checked.)
+	for _, h := range watch {
+		if !h.Reachable() || e.hostDead(h.Name) {
+			tr.End = time.Now()
+			tr.Terminated = true
+			return nil, tr, &terminationError{host: h.Name, reason: "host unreachable at delivery"}
 		}
 	}
 
@@ -223,16 +280,32 @@ compute:
 // shouldTerminate implements the paper's rule: "If the current load on
 // any of these machines is more than a predefined threshold value, the
 // Application Controller terminates the task execution ... and sends a
-// task rescheduling request". Host failure is treated the same way.
-func (ac *appController) shouldTerminate(h *testbed.Host) (bool, string) {
-	if h.Failed() {
-		return true, "host failed"
+// task rescheduling request". Host failure is treated the same way, in
+// two flavors: a crash the local controller sees directly (Failed), and
+// a detector-confirmed death (MarkHostDead) — the only signal available
+// when the machine is partitioned but still computing. It returns nil
+// or the termination naming the offending machine.
+func (ac *appController) shouldTerminate(watch []*testbed.Host) *terminationError {
+	e := ac.app.engine
+	thr := e.LoadThreshold
+	for _, h := range watch {
+		if h.Failed() {
+			return &terminationError{host: h.Name, reason: "host failed"}
+		}
+		if e.hostDead(h.Name) {
+			return &terminationError{host: h.Name, reason: "host confirmed dead"}
+		}
+		if thr > 0 && h.CurrentLoad() > thr {
+			return &terminationError{host: h.Name, reason: "load threshold exceeded"}
+		}
 	}
-	thr := ac.app.engine.LoadThreshold
-	if thr > 0 && h.CurrentLoad() > thr {
-		return true, "load threshold exceeded"
-	}
-	return false, ""
+	return nil
+}
+
+// overload reports whether the kill was a load-threshold trip rather
+// than a failure: overloaded hosts are avoided, not reported failed.
+func (t *terminationError) overload() bool {
+	return t.reason == "load threshold exceeded"
 }
 
 // paramsFor returns the task's required memory on the host.

@@ -66,6 +66,14 @@ type Engine struct {
 	lockMu    sync.Mutex
 	hostLocks map[string]*sync.Mutex
 
+	// liveMu guards dead, the failure detector's confirmed-dead set. The
+	// per-task watchdogs consult it every check period, so a confirmed
+	// death interrupts every task running on the host even when the host
+	// model itself looks alive (a network partition: the machine computes
+	// on, but its results are unreachable).
+	liveMu sync.RWMutex
+	dead   map[string]bool
+
 	// appSeq disambiguates app IDs of same-named graphs submitted within
 	// the same nanosecond.
 	appSeq atomic.Int64
@@ -113,6 +121,91 @@ func (e *Engine) PeakConcurrency() int {
 	return int(e.peakInFlight.Load())
 }
 
+// MarkHostDead records a failure-detector confirmation: every running
+// task placed on the host is interrupted at its next watchdog check and
+// flows through the rescheduler with the host excluded.
+func (e *Engine) MarkHostDead(host string) {
+	e.liveMu.Lock()
+	if e.dead == nil {
+		e.dead = make(map[string]bool)
+	}
+	e.dead[host] = true
+	e.liveMu.Unlock()
+}
+
+// MarkHostAlive clears a detector confirmation after recovery.
+func (e *Engine) MarkHostAlive(host string) {
+	e.liveMu.Lock()
+	delete(e.dead, host)
+	e.liveMu.Unlock()
+}
+
+// hostDead reports whether the detector has confirmed the host dead.
+func (e *Engine) hostDead(host string) bool {
+	e.liveMu.RLock()
+	defer e.liveMu.RUnlock()
+	return e.dead[host]
+}
+
+// deadHostsExcept returns the confirmed-dead hosts not already in the
+// given set — the extra exclusions a rescheduling request carries so a
+// task is never re-placed onto a host the detector knows is gone.
+func (e *Engine) deadHostsExcept(already map[string]bool) []string {
+	e.liveMu.RLock()
+	defer e.liveMu.RUnlock()
+	var out []string
+	for h := range e.dead {
+		if !already[h] {
+			out = append(out, h)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EventType tags an execution progress event.
+type EventType int
+
+const (
+	// EventHostFailure: a watchdog killed an attempt because its host
+	// failed or was confirmed dead by the failure detector.
+	EventHostFailure EventType = iota
+	// EventOverload: a watchdog killed an attempt because the host's
+	// load crossed the threshold.
+	EventOverload
+	// EventRescheduled: the task received a replacement placement and
+	// will re-run there.
+	EventRescheduled
+)
+
+// Event is one execution progress notification, streamed to the sink
+// installed with WithEventSink as recovery happens mid-run.
+type Event struct {
+	Type     EventType
+	Task     afg.TaskID
+	TaskName string
+	// Host is the offending host for failures/overloads and the new
+	// primary host for reschedules.
+	Host string
+	// Reason is the watchdog's termination reason (failures/overloads).
+	Reason string
+}
+
+// ExecOption configures one Execute call.
+type ExecOption func(*execOpts)
+
+type execOpts struct {
+	sink func(Event)
+}
+
+// WithEventSink streams per-task recovery events (host losses,
+// overload kills, reschedules) to fn as they happen, so callers can
+// observe recovery while the run is still in flight. fn must be safe
+// for concurrent use; it is called from the task controllers.
+func WithEventSink(fn func(Event)) ExecOption {
+	return func(o *execOpts) { o.sink = fn }
+}
+
 // TaskRun describes one attempt at executing a task.
 type TaskRun struct {
 	Task       afg.TaskID
@@ -133,14 +226,36 @@ type Result struct {
 	// Rescheduled counts reschedule requests the Application Controllers
 	// issued.
 	Rescheduled int
+	// FailedHosts lists the distinct hosts whose failure (crash or
+	// detector confirmation — not overload) forced a task off them, in
+	// first-observed order.
+	FailedHosts []string
+	// Table is the allocation table as actually executed: the input
+	// table with every mid-run rescheduling patch applied. It is a fresh
+	// copy — the caller's input table is never mutated.
+	Table *core.AllocationTable
 }
 
 // errTerminated marks a watchdog kill internally.
 var errTerminated = errors.New("exec: task terminated by application controller")
 
+// terminationError is a watchdog kill carrying the offending host, so
+// the rescheduling loop excludes the machine that actually misbehaved
+// (which, for a parallel task, need not be the primary).
+type terminationError struct {
+	host   string
+	reason string
+}
+
+func (t *terminationError) Error() string {
+	return fmt.Sprintf("%v: %s on %s", errTerminated, t.reason, t.host)
+}
+
+func (t *terminationError) Unwrap() error { return errTerminated }
+
 // Execute runs g as placed by table. It returns when every task has
 // completed or any task fails permanently.
-func (e *Engine) Execute(ctx context.Context, g *afg.Graph, table *core.AllocationTable) (*Result, error) {
+func (e *Engine) Execute(ctx context.Context, g *afg.Graph, table *core.AllocationTable, opts ...ExecOption) (*Result, error) {
 	if e.Reg == nil || e.TB == nil {
 		return nil, errors.New("exec: engine needs Reg and TB")
 	}
@@ -165,6 +280,10 @@ func (e *Engine) Execute(ctx context.Context, g *afg.Graph, table *core.Allocati
 		}
 	}
 
+	var eo execOpts
+	for _, opt := range opts {
+		opt(&eo)
+	}
 	appID := fmt.Sprintf("%s-%d-%d", g.Name, time.Now().UnixNano(), e.appSeq.Add(1))
 	run := &appRun{
 		engine:      e,
@@ -172,8 +291,10 @@ func (e *Engine) Execute(ctx context.Context, g *afg.Graph, table *core.Allocati
 		appID:       appID,
 		maxAttempts: maxAttempts,
 		checkPeriod: checkPeriod,
+		sink:        eo.sink,
 		placements:  make(map[afg.TaskID]*core.Placement, len(table.Entries)),
 		outputs:     make(map[afg.TaskID][]tasklib.Value, len(g.Tasks)),
+		failedSeen:  make(map[string]bool),
 	}
 	for i := range table.Entries {
 		p := table.Entries[i]
@@ -239,6 +360,8 @@ func (e *Engine) Execute(ctx context.Context, g *afg.Graph, table *core.Allocati
 		Runs:        run.runs,
 		Makespan:    time.Since(start),
 		Rescheduled: int(run.rescheduled),
+		FailedHosts: run.failedHosts,
+		Table:       run.patchedTable(table),
 	}
 	return res, nil
 }
@@ -250,13 +373,53 @@ type appRun struct {
 	appID       string
 	maxAttempts int
 	checkPeriod time.Duration
+	sink        func(Event) // optional recovery-event stream
 
 	mu          sync.Mutex
 	placements  map[afg.TaskID]*core.Placement
 	outputs     map[afg.TaskID][]tasklib.Value
 	runs        []TaskRun
 	rescheduled int64
+	failedHosts []string
+	failedSeen  map[string]bool
 	addrs       sync.Map // afg.TaskID -> listen address
+}
+
+// emit streams one recovery event to the run's sink, if any.
+func (r *appRun) emit(ev Event) {
+	if r.sink != nil {
+		r.sink(ev)
+	}
+}
+
+// recordFailedHost remembers a host lost to failure (not overload),
+// first observation wins the ordering.
+func (r *appRun) recordFailedHost(host string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.failedSeen[host] {
+		r.failedSeen[host] = true
+		r.failedHosts = append(r.failedHosts, host)
+	}
+}
+
+// patchedTable returns a copy of the input allocation table with the
+// run's final placements — every mid-run reschedule applied — so the
+// caller's record of "where did this actually run" is coherent.
+func (r *appRun) patchedTable(in *core.AllocationTable) *core.AllocationTable {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := &core.AllocationTable{App: in.App, Entries: append([]core.Placement(nil), in.Entries...)}
+	for i := range out.Entries {
+		e := &out.Entries[i]
+		if p := r.placements[e.Task]; p != nil {
+			// Keep the original TransferIn/Level: reschedules replace the
+			// placement, not the scheduling round's bookkeeping.
+			e.Site, e.Predicted = p.Site, p.Predicted
+			e.Hosts = append([]string(nil), p.Hosts...)
+		}
+	}
+	return out
 }
 
 func (r *appRun) placement(id afg.TaskID) *core.Placement {

@@ -36,15 +36,19 @@ func NewDaemon(h *testbed.Host, period time.Duration) *Daemon {
 // Samples returns how many measurements the daemon has taken.
 func (d *Daemon) Samples() int64 { return d.samples.Load() }
 
-// MeasureOnce takes a single measurement immediately and delivers it.
-// Failed hosts produce nothing (the daemon dies with its machine).
-func (d *Daemon) MeasureOnce(now time.Time, sink Sink) {
-	if d.Host.Failed() {
-		return
+// MeasureOnce takes a single measurement immediately and delivers it,
+// reporting whether a sample went out. Unreachable hosts produce
+// nothing — the daemon dies with its machine, and a partitioned
+// machine's reports never arrive. That silence is the heartbeat signal
+// the failure detector (internal/detect) consumes.
+func (d *Daemon) MeasureOnce(now time.Time, sink Sink) bool {
+	if !d.Host.Reachable() {
+		return false
 	}
 	s := d.Host.Sample(now)
 	d.samples.Add(1)
 	sink(d.Host.Name, s)
+	return true
 }
 
 // Run measures every Period until ctx is done. It delivers measurements

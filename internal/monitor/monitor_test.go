@@ -33,7 +33,9 @@ func TestMeasureOnce(t *testing.T) {
 		got = append(got, s)
 	}
 	now := time.Unix(50, 0)
-	d.MeasureOnce(now, sink)
+	if !d.MeasureOnce(now, sink) {
+		t.Fatal("reachable host not sampled")
+	}
 	if len(got) != 1 || !got[0].Time.Equal(now) {
 		t.Fatalf("samples = %v", got)
 	}
@@ -42,9 +44,22 @@ func TestMeasureOnce(t *testing.T) {
 	}
 	// A failed host produces nothing — its daemon died with it.
 	h.Fail()
-	d.MeasureOnce(now, sink)
+	if d.MeasureOnce(now, sink) {
+		t.Fatal("failed host reported a delivery")
+	}
 	if len(got) != 1 || d.Samples() != 1 {
 		t.Fatal("failed host still sampled")
+	}
+	// A partitioned host keeps computing but its reports never arrive:
+	// the silence the failure detector feeds on.
+	h.Recover()
+	h.Partition()
+	if d.MeasureOnce(now, sink) || len(got) != 1 {
+		t.Fatal("partitioned host's report got through")
+	}
+	h.Heal()
+	if !d.MeasureOnce(now.Add(time.Second), sink) || len(got) != 2 {
+		t.Fatal("healed host not sampled")
 	}
 }
 

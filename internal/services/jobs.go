@@ -33,11 +33,19 @@ type JobStatus struct {
 	// (1 = next to be scheduled); 0 once it left the admission queue.
 	QueuePosition int               `json:"queue_position,omitempty"`
 	Labels        map[string]string `json:"labels,omitempty"`
-	Deadline      time.Time         `json:"deadline,omitzero"`
-	SubmittedAt   time.Time         `json:"submitted_at"`
-	StartedAt     time.Time         `json:"started_at,omitzero"`
-	FinishedAt    time.Time         `json:"finished_at,omitzero"`
-	Error         string            `json:"error,omitempty"`
+	// Reschedules counts mid-run task reschedules the execution engine
+	// performed for this job (watchdog- or failure-detector-driven). It
+	// updates live while the job runs.
+	Reschedules int `json:"reschedules,omitempty"`
+	// FailedHosts lists the distinct hosts whose failure (crash or
+	// confirmed death — not overload) forced one of the job's tasks to
+	// move, in first-observed order. It updates live while the job runs.
+	FailedHosts []string  `json:"failed_hosts,omitempty"`
+	Deadline    time.Time `json:"deadline,omitzero"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitzero"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+	Error       string    `json:"error,omitempty"`
 }
 
 // Terminal reports whether the status will never change again.

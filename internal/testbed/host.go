@@ -36,7 +36,11 @@ type Host struct {
 	maxLoad  float64
 	usedMem  int64 // memory claimed by running VDCE tasks
 	failed   bool
-	rng      *rand.Rand
+	// partitioned models a network cut: the host keeps computing, but
+	// monitor samples and echo packets no longer get through. Only the
+	// failure detector (heartbeat silence) can notice a partition.
+	partitioned bool
+	rng         *rand.Rand
 }
 
 // Info renders the host as the ResourceInfo record its site's
@@ -134,17 +138,50 @@ func (h *Host) Recover() {
 	h.failed = false
 }
 
-// Failed reports whether the host is currently failed.
+// Failed reports whether the host is currently failed (crashed). A
+// merely partitioned host is NOT failed: its local execution continues.
 func (h *Host) Failed() bool {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.failed
 }
 
+// Partition cuts the host off the network: monitor samples and echo
+// packets stop, but the machine itself keeps running. Tasks on a
+// partitioned host are interrupted only when the failure detector
+// confirms the silence — the end-to-end path a crash short-circuits.
+func (h *Host) Partition() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.partitioned = true
+}
+
+// Heal reconnects a partitioned host.
+func (h *Host) Heal() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.partitioned = false
+}
+
+// Partitioned reports whether the host is currently cut off.
+func (h *Host) Partitioned() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.partitioned
+}
+
+// Reachable reports whether monitoring traffic (samples, echoes) gets
+// through: the host is neither failed nor partitioned.
+func (h *Host) Reachable() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.failed && !h.partitioned
+}
+
 // Echo models the Group Manager's echo packet: it returns an error when
-// the host is failed (no response) and nil otherwise.
+// the host is unreachable (crashed or partitioned) and nil otherwise.
 func (h *Host) Echo() error {
-	if h.Failed() {
+	if !h.Reachable() {
 		return fmt.Errorf("testbed: host %s unreachable", h.Name)
 	}
 	return nil

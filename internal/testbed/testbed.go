@@ -31,6 +31,16 @@ func (s *Site) GroupNames() []string {
 	return out
 }
 
+// HostNames returns the site's host names in order — the shape chaos
+// scenarios and detector registrations consume.
+func (s *Site) HostNames() []string {
+	out := make([]string, len(s.Hosts))
+	for i, h := range s.Hosts {
+		out[i] = h.Name
+	}
+	return out
+}
+
 // GroupHosts returns the hosts of one group in order.
 func (s *Site) GroupHosts(group string) []*Host {
 	var out []*Host
@@ -193,10 +203,20 @@ func (tb *Testbed) AllHosts() []*Host {
 	return out
 }
 
-// RefreshRepos re-samples every up host once at the given time and writes
-// the measurements into the owning site's resource DB — a synchronous
-// stand-in for one full monitor round, used by tests and schedulers that
-// want fresh load data without running the daemons.
+// HostNames returns every host name across all sites in site order.
+func (tb *Testbed) HostNames() []string {
+	var out []string
+	for _, s := range tb.Sites {
+		out = append(out, s.HostNames()...)
+	}
+	return out
+}
+
+// RefreshRepos re-samples every reachable host once at the given time and
+// writes the measurements into the owning site's resource DB — a
+// synchronous stand-in for one full monitor round *plus* its detection
+// outcome (unreachable hosts are marked down immediately), used by tests
+// and schedulers that want fresh load data without running the daemons.
 func (tb *Testbed) RefreshRepos(now time.Time) error {
 	for _, s := range tb.Sites {
 		// Batch the whole site's round into one epoch publish: schedulers
@@ -204,7 +224,7 @@ func (tb *Testbed) RefreshRepos(now time.Time) error {
 		// mixture, and the ranked-host caches invalidate once per round.
 		updates := make([]repository.RoundUpdate, 0, len(s.Hosts))
 		for _, h := range s.Hosts {
-			if h.Failed() {
+			if !h.Reachable() {
 				updates = append(updates, repository.RoundUpdate{Host: h.Name, Status: repository.HostDown})
 				continue
 			}

@@ -228,6 +228,12 @@ type Job struct {
 	submitted       time.Time
 	started         time.Time
 	finished        time.Time
+	// recovery observability, fed live by the engine's event stream:
+	// how many times a task of this job was rescheduled mid-run, and the
+	// distinct hosts lost to failure (first-observed order).
+	reschedules int
+	failedHosts []string
+	failedSeen  map[string]bool
 }
 
 // State returns the job's current lifecycle state.
@@ -331,6 +337,46 @@ func (j *Job) Cancel() {
 	}
 }
 
+// Reschedules reports how many times the engine moved one of the job's
+// tasks mid-run; it grows live while the job executes.
+func (j *Job) Reschedules() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.reschedules
+}
+
+// FailedHosts returns the distinct hosts whose failure forced one of
+// the job's tasks to move, in first-observed order.
+func (j *Job) FailedHosts() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.failedHosts...)
+}
+
+// execEvent consumes the engine's recovery event stream for this job,
+// keeping the status' reschedule/failed-host view live while the run is
+// still in flight.
+func (j *Job) execEvent(ev exec.Event) {
+	j.mu.Lock()
+	switch ev.Type {
+	case exec.EventRescheduled:
+		j.reschedules++
+	case exec.EventHostFailure:
+		if j.failedSeen == nil {
+			j.failedSeen = make(map[string]bool)
+		}
+		if !j.failedSeen[ev.Host] {
+			j.failedSeen[ev.Host] = true
+			j.failedHosts = append(j.failedHosts, ev.Host)
+		}
+	default:
+		j.mu.Unlock()
+		return
+	}
+	j.mu.Unlock()
+	j.publish()
+}
+
 // Status snapshots the job for the monitoring board and the job-control
 // API. Queued jobs carry their live admission-queue position.
 func (j *Job) Status() services.JobStatus {
@@ -342,6 +388,8 @@ func (j *Job) Status() services.JobStatus {
 		State:       j.state.String(),
 		Priority:    j.priority,
 		Labels:      j.Labels,
+		Reschedules: j.reschedules,
+		FailedHosts: append([]string(nil), j.failedHosts...),
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
 		FinishedAt:  j.finished,
@@ -767,9 +815,14 @@ func (p *pipeline) execute(job *Job, table *core.AllocationTable) {
 	}
 	job.transition(JobRunning)
 	p.gauge()
-	res, err := p.env.Engine.Execute(runCtx, job.Graph, table)
+	res, err := p.env.Engine.Execute(runCtx, job.Graph, table, exec.WithEventSink(job.execEvent))
 	switch {
 	case err == nil:
+		// The run may have rescheduled tasks mid-flight: adopt the
+		// patched table so Table() reports where tasks actually ran.
+		if res.Table != nil {
+			job.setTable(res.Table)
+		}
 		job.complete(res)
 	case job.canceled():
 		job.terminalize(JobCanceled, ErrJobCanceled, nil)

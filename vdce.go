@@ -40,6 +40,7 @@ import (
 	"vdce/internal/afg"
 	"vdce/internal/control"
 	"vdce/internal/core"
+	"vdce/internal/detect"
 	"vdce/internal/editor"
 	"vdce/internal/exec"
 	"vdce/internal/jobsapi"
@@ -70,6 +71,23 @@ type Config struct {
 	// cadence is MonitorPeriod.
 	StartDaemons  bool
 	MonitorPeriod time.Duration
+	// StartDetector runs the heartbeat failure-detection service: every
+	// monitor report feeds a per-host last-seen clock, silent hosts move
+	// through suspect -> confirmed-dead (quorum), confirmed transitions
+	// land in the site repositories as one epoch per round, and tasks
+	// running on a confirmed-dead host are interrupted and rescheduled
+	// mid-run. Echo-detected failures become quorum votes instead of
+	// immediate status flips. With StartDaemons the detector's
+	// evaluation loop runs on the wall clock against live heartbeats;
+	// without daemons no background loop starts (a wall-clock ticker
+	// would condemn hosts fed synthetic timestamps) — synchronous
+	// drivers feed heartbeats via RefreshMonitoring and call
+	// Detector.Tick themselves with their own clock.
+	StartDetector bool
+	// Detect tunes the failure detector. Zero fields default relative to
+	// MonitorPeriod (suspicion after 4 missed periods, quorum 2, one
+	// evaluation round per period).
+	Detect detect.Config
 	// Pipeline sizes the concurrent submission pipeline behind Submit.
 	// The zero value takes the PipelineConfig defaults.
 	Pipeline PipelineConfig
@@ -86,6 +104,9 @@ type Environment struct {
 	Engine   *exec.Engine
 	Console  *services.Console
 	Metrics  *services.Metrics
+	// Detector is the failure-detection service (non-nil when
+	// Config.StartDetector).
+	Detector *detect.Detector
 	// Board tracks every submitted job's lifecycle for monitoring.
 	Board *services.JobBoard
 
@@ -137,11 +158,39 @@ func New(cfg Config) (*Environment, error) {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	env.cancel = cancel
-	if cfg.StartDaemons {
-		period := cfg.MonitorPeriod
-		if period <= 0 {
-			period = 250 * time.Millisecond
+	period := cfg.MonitorPeriod
+	if period <= 0 {
+		period = 250 * time.Millisecond
+	}
+	if cfg.StartDetector {
+		dcfg := cfg.Detect
+		if dcfg.SuspicionTimeout <= 0 {
+			// One dropped report must never raise suspicion.
+			dcfg.SuspicionTimeout = 4 * period
 		}
+		if dcfg.TickPeriod <= 0 {
+			dcfg.TickPeriod = period
+		}
+		env.Detector = detect.New(dcfg)
+		for _, site := range tb.Sites {
+			env.Detector.AddSite(site.Name, site.Repo.Resources)
+		}
+		// Echo-detected failures arriving over RPC become quorum votes;
+		// echo-observed recoveries count as heartbeats.
+		for _, sm := range env.Managers {
+			sm.InterceptFailureNotices(
+				func(n protocol.FailureNotice) bool {
+					env.Detector.ReportFailure(n.Host, n.Detected)
+					return true
+				},
+				func(n protocol.RecoveryNotice) bool {
+					env.Detector.Observe(n.Host, n.Detected)
+					return true
+				},
+			)
+		}
+	}
+	if cfg.StartDaemons {
 		start := time.Now()
 		for si, site := range tb.Sites {
 			var reporter control.Reporter
@@ -152,12 +201,30 @@ func New(cfg Config) (*Environment, error) {
 				// running, so apply updates directly.
 				reporter = directReporter{repo: site.Repo}
 			}
+			if env.Detector != nil && !cfg.UseRPC {
+				// Failure detection is the detector's call now: echo
+				// notices become suspicion votes and recovery notices
+				// heartbeats, while workload batches flow through. In
+				// RPC mode the Site Manager's installed interceptors
+				// play this role instead (covering remote leaders too),
+				// so exactly one interception layer exists per wiring.
+				reporter = detectReporter{next: reporter, det: env.Detector}
+			}
 			// Every forwarded workload also lands in the visualization
 			// service, the paper's "workload visualizations".
 			reporter = teeReporter{next: reporter, metrics: env.Metrics, start: start}
 			for _, gname := range site.GroupNames() {
 				gm := control.NewGroupManager(site.Name, gname, site.GroupHosts(gname), reporter, period)
 				gm.EchoPeriod = period
+				if env.Detector != nil {
+					// Heartbeats come off the unfiltered daemon stream:
+					// the significant-change filter spares the site link,
+					// but a steady host must not look silent.
+					det := env.Detector
+					gm.Heartbeat = func(host string, s repository.WorkloadSample) {
+						det.Observe(host, s.Time)
+					}
+				}
 				env.Groups = append(env.Groups, gm)
 				go gm.Run(ctx)
 			}
@@ -183,8 +250,50 @@ func New(cfg Config) (*Environment, error) {
 			}
 		}
 	}
+	if env.Detector != nil {
+		// Confirmed transitions drive execution: a death interrupts the
+		// host's running tasks (they reschedule with the host excluded),
+		// a recovery readmits it. The repository side of the transition
+		// is already published when subscribers run.
+		env.Detector.Subscribe(func(tr detect.Transition) {
+			switch tr.To {
+			case detect.Dead:
+				env.Engine.MarkHostDead(tr.Host)
+			case detect.Recovered:
+				env.Engine.MarkHostAlive(tr.Host)
+			}
+		})
+		if cfg.StartDaemons {
+			// The wall-clock evaluation loop only makes sense against
+			// live daemon heartbeats; synchronous drivers Tick the
+			// detector on their own clock instead.
+			go env.Detector.Run(ctx)
+		}
+	}
 	env.pipe = startPipeline(ctx, env, cfg.Pipeline)
 	return env, nil
+}
+
+// detectReporter routes a Group Manager's failure-detection notices to
+// the failure detector — echo timeouts are votes, not verdicts — while
+// workload batches pass through to the repository untouched.
+type detectReporter struct {
+	next control.Reporter
+	det  *detect.Detector
+}
+
+func (d detectReporter) ApplyWorkloads(b protocol.WorkloadBatch) error {
+	return d.next.ApplyWorkloads(b)
+}
+
+func (d detectReporter) ApplyFailure(n protocol.FailureNotice) error {
+	d.det.ReportFailure(n.Host, n.Detected)
+	return nil
+}
+
+func (d detectReporter) ApplyRecovery(n protocol.RecoveryNotice) error {
+	d.det.Observe(n.Host, n.Detected)
+	return nil
 }
 
 // teeReporter forwards Group Manager updates and mirrors workloads into
@@ -437,7 +546,15 @@ func (env *Environment) JobsHandler(cfg jobsapi.Config) http.Handler {
 
 // RefreshMonitoring synchronously refreshes every site's resource DB
 // from the host models (one monitor round), for callers that do not run
-// the daemons.
+// the daemons. When the failure detector runs, the round's samples also
+// count as heartbeats, exactly as daemon-delivered ones would.
 func (env *Environment) RefreshMonitoring(now time.Time) error {
+	if env.Detector != nil {
+		for _, h := range env.TB.AllHosts() {
+			if h.Reachable() {
+				env.Detector.Observe(h.Name, now)
+			}
+		}
+	}
 	return env.TB.RefreshRepos(now)
 }
