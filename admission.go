@@ -1,44 +1,180 @@
 package vdce
 
 import (
+	"errors"
+	"fmt"
+	"sort"
 	"sync"
 	"time"
 )
 
-// admitQueue is the pipeline's priority admission queue: a max-heap over
-// (effective priority, enqueue time) with starvation-protecting aging.
+// QuotaConfig bounds each owner's simultaneous use of the submission
+// pipeline. Zero fields are unlimited. Quotas are per owner name; the
+// anonymous owner "" is one owner like any other.
+type QuotaConfig struct {
+	// MaxQueuedPerOwner caps how many of one owner's jobs may sit in the
+	// admission queue (including submitters still blocked on queue
+	// backpressure). Admission over the cap fails immediately with a
+	// QuotaError — the caller is told to back off rather than silently
+	// deepening the backlog.
+	MaxQueuedPerOwner int
+	// MaxInFlightPerOwner caps how many of one owner's jobs may be
+	// scheduling or running at once. Jobs over the cap are not rejected:
+	// they park in the admission queue — other owners' jobs dispatch
+	// past them — until the owner drops below the cap. Pair it with
+	// MaxQueuedPerOwner: parked jobs still occupy shared QueueDepth
+	// slots, so without a queued cap one throttled owner's backlog can
+	// fill the queue and stall every owner's Submit on backpressure.
+	MaxInFlightPerOwner int
+	// MaxHostsPerOwner caps an owner's concurrently held host slots:
+	// each dispatched job charges one slot per distinct host of its own
+	// placement (plus replacement hosts it reschedules onto mid-run),
+	// so two jobs sharing a host charge it twice — the accounting an
+	// owner's per-job hosts_held counters sum to, deliberately
+	// conservative on the small overlapping testbeds this models. A
+	// scheduled job that would exceed the cap parks (off-worker, so it
+	// never blocks other owners' dispatch) until enough of the owner's
+	// slots free up. A single job needing more slots than the cap is
+	// admitted alone, once the owner holds nothing — an over-sized job
+	// parks, it does not deadlock.
+	MaxHostsPerOwner int
+}
+
+// ErrQuotaExceeded is the sentinel matched (via errors.Is) by every
+// per-owner quota rejection.
+var ErrQuotaExceeded = errors.New("vdce: owner quota exceeded")
+
+// QuotaError is the typed admission rejection: which owner hit which
+// per-owner cap, and where usage stood. It matches ErrQuotaExceeded
+// with errors.Is.
+type QuotaError struct {
+	// Owner is the job's owner ("" for anonymous submissions).
+	Owner string
+	// Resource names the exhausted cap: "queued-jobs", "in-flight-jobs",
+	// or "hosts".
+	Resource string
+	// Limit is the configured cap; Used is the owner's usage at the
+	// rejection.
+	Limit int
+	Used  int
+}
+
+func (e *QuotaError) Error() string {
+	owner := e.Owner
+	if owner == "" {
+		owner = "(anonymous)"
+	}
+	return fmt.Sprintf("vdce: owner %s over %s quota (%d of %d in use)",
+		owner, e.Resource, e.Used, e.Limit)
+}
+
+// Is makes errors.Is(err, ErrQuotaExceeded) match every QuotaError.
+func (e *QuotaError) Is(target error) bool { return target == ErrQuotaExceeded }
+
+// admitQueue is the pipeline's admission queue: weighted fair queuing
+// across owners over per-owner priority sub-queues.
 //
-// A queued job's effective priority rises by one level per AgingStep of
-// waiting: eff(now) = base + (now - enqueued)/step. Because every queued
-// job ages at the same rate, the pairwise order of two jobs never changes
-// over time — eff_a(now) - eff_b(now) is independent of now — so the heap
-// key can be computed once at enqueue:
+// Within one owner, jobs order exactly as the PR 2 aging heap did: a
+// max-heap over (effective priority, enqueue time) where a queued job's
+// effective priority rises by one level per AgingStep of waiting.
+// Because every queued job ages at the same rate, the pairwise order of
+// two jobs never changes over time, so the heap key is computed once at
+// enqueue:
 //
 //	rank = base * step - enqueuedNanos
 //
-// Higher rank pops first. A low-priority job enqueued step*(Δbase) before
-// a high-priority one overtakes it, which is exactly aging: no job starves
-// forever behind a stream of higher-priority arrivals.
+// Higher rank pops first; saturated ranks fall back to FIFO seq order.
 //
-// The heap is hand-rolled over a slice of admitEntry (no container/heap)
-// so the Submit hot path does not pay an interface boxing allocation per
-// push and pop.
+// Across owners, pops are arbitrated by smoothed virtual-time fair
+// queuing: each owner carries a weight w and a virtual finish time. A
+// pop charges the chosen owner 1/w of virtual time, and the next pop
+// goes to the eligible owner with the smallest charge point
+// max(ownerVFinish, queueVTime) — so over a backlogged interval each
+// owner's dispatch share converges to w/Σw, and one owner's flood can
+// no longer starve the rest regardless of its jobs' priorities. The
+// max() against the queue-wide virtual clock is the smoothing: an owner
+// returning from idle resumes at "now" instead of burning banked
+// credit, and a saturated owner cannot run up debt that would silence
+// it later.
+//
+// The queue also carries the per-owner quota ledger (queued
+// reservations, in-flight jobs, held hosts): eligibility for a pop
+// requires the owner to be under its in-flight cap, which is how
+// capped owners' jobs park in place while other owners dispatch past
+// them.
+//
+// The sub-queue heaps are hand-rolled over slices (no container/heap)
+// so the Submit hot path does not pay an interface boxing allocation
+// per push and pop.
 type admitQueue struct {
-	mu   sync.Mutex
-	jobs []admitEntry
-	step time.Duration
-	seq  uint64
+	mu    sync.Mutex
+	step  time.Duration
+	quota QuotaConfig
+	seq   uint64
+	vtime float64 // queue-wide virtual clock: charge point of the last pop
+	// owners holds every owner ever seen; idle owners keep their weight
+	// and usage counters (a handful of words each) so quota accounting
+	// and /v1/owners survive queue-empty moments.
+	owners map[string]*ownerShare
+	// changed is the usage broadcast: closed and replaced whenever
+	// in-flight or held-host usage frees, waking parked dispatches.
+	changed chan struct{}
 }
 
-func newAdmitQueue(step time.Duration) *admitQueue {
-	return &admitQueue{step: step}
+// ownerShare is one owner's sub-queue plus its fair-share and quota
+// state. All fields are guarded by admitQueue.mu.
+type ownerShare struct {
+	name string
+	jobs []admitEntry // aging-rank max-heap
+	// weight is the owner's fair-share weight (>= 1); the latest
+	// submitted job's resolved weight wins.
+	weight int
+	// vfinish is the owner's virtual finish time: the charge point of
+	// its last pop plus 1/weight.
+	vfinish float64
+	// reserved counts the owner's queued jobs, from admission-quota
+	// reservation (before the submitter even waits for a queue slot)
+	// until pop or removal.
+	reserved int
+	// inFlight counts the owner's scheduling+running jobs (charged at
+	// pop, released when the job terminalizes).
+	inFlight int
+	// hostsHeld counts the testbed hosts the owner's running jobs hold.
+	hostsHeld int
+	// parked counts the owner's jobs parked on the held-hosts cap.
+	// While any is parked the owner is ineligible for pops, so parked
+	// dispatch goroutines are bounded per owner by the scheduler worker
+	// count (workers that popped before the first park landed can add
+	// one each) — a capped owner's backlog waits in the queue, not in a
+	// growing pile of goroutines holding stale placements.
+	parked int
 }
 
-// rank computes the static heap key for a job admitted at enqueued. The
-// priority boost saturates at ±2^61 so an absurd caller-supplied
-// priority (the HTTP field is an arbitrary int) cannot overflow the
-// product and invert the queue order; saturated jobs rank equal and
-// fall back to FIFO via the seq tie-break.
+func newAdmitQueue(step time.Duration, quota QuotaConfig) *admitQueue {
+	return &admitQueue{
+		step:    step,
+		quota:   quota,
+		owners:  make(map[string]*ownerShare),
+		changed: make(chan struct{}),
+	}
+}
+
+// owner returns (creating if needed) the owner's share record. Caller
+// holds q.mu.
+func (q *admitQueue) owner(name string) *ownerShare {
+	os, ok := q.owners[name]
+	if !ok {
+		os = &ownerShare{name: name, weight: 1}
+		q.owners[name] = os
+	}
+	return os
+}
+
+// rank computes the static within-owner heap key for a job admitted at
+// enqueued. The priority boost saturates at ±2^61 so an absurd
+// caller-supplied priority (the HTTP field is an arbitrary int) cannot
+// overflow the product and invert the queue order; saturated jobs rank
+// equal and fall back to FIFO via the seq tie-break.
 func (q *admitQueue) rank(priority int, enqueued time.Time) int64 {
 	const maxBoost = int64(1) << 61 // |boost| + |UnixNano| stays well inside int64
 	limit := maxBoost / int64(q.step)
@@ -51,24 +187,143 @@ func (q *admitQueue) rank(priority int, enqueued time.Time) int64 {
 	return p*int64(q.step) - enqueued.UnixNano()
 }
 
-// push enqueues a job.
+// reserveQueued claims one unit of the owner's queued-jobs quota before
+// the job enters the admission path, so a flooding owner is rejected
+// with a typed error instead of invisibly consuming shared queue
+// capacity. The reservation is consumed by push and released by pop,
+// remove, or unreserveQueued (for submissions that die before push).
+func (q *admitQueue) reserveQueued(owner string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	os := q.owner(owner)
+	if cap := q.quota.MaxQueuedPerOwner; cap > 0 && os.reserved >= cap {
+		return &QuotaError{Owner: owner, Resource: "queued-jobs", Limit: cap, Used: os.reserved}
+	}
+	os.reserved++
+	return nil
+}
+
+// unreserveQueued returns a reservation for a submission that never
+// reached push (canceled or failed while waiting for a queue slot).
+func (q *admitQueue) unreserveQueued(owner string) {
+	q.mu.Lock()
+	q.owner(owner).reserved--
+	q.mu.Unlock()
+}
+
+// push enqueues a job under its owner's sub-queue, consuming the
+// reservation made by reserveQueued. The job's resolved share weight
+// becomes the owner's weight (latest submission wins), saturated at
+// MaxShareWeight — the weight is client-settable over HTTP, so like
+// the rank() priority clamp this bounds what a hostile value can buy.
 func (q *admitQueue) push(j *Job) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.seq++
-	q.jobs = append(q.jobs, admitEntry{job: j, rank: q.rank(j.priority, j.enqueued), seq: q.seq})
-	q.up(len(q.jobs) - 1)
+	os := q.owner(j.Owner)
+	if j.shareWeight >= 1 {
+		os.weight = clampShareWeight(j.shareWeight)
+	}
+	os.jobs = append(os.jobs, admitEntry{job: j, rank: q.rank(j.priority, j.enqueued), seq: q.seq})
+	os.up(len(os.jobs) - 1)
 }
 
-// pop removes and returns the highest-ranked queued job, or nil when the
-// queue is empty.
+// eligible reports whether the owner may dispatch another job: it has
+// queued work, is under its in-flight cap, and has no job already
+// parked on the held-hosts cap (popping another would only grow the
+// parked pile with a placement that goes stale while it waits).
+// Caller holds q.mu.
+func (q *admitQueue) eligible(os *ownerShare) bool {
+	if len(os.jobs) == 0 {
+		return false
+	}
+	if cap := q.quota.MaxInFlightPerOwner; cap > 0 && os.inFlight >= cap {
+		return false
+	}
+	if os.parked > 0 {
+		return false
+	}
+	return true
+}
+
+// setParked marks or clears a job's held-hosts park, gating the
+// owner's eligibility for further pops. Idempotent per job.
+func (q *admitQueue) setParked(j *Job, parked bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j.hostParked == parked {
+		return
+	}
+	j.hostParked = parked
+	if parked {
+		q.owner(j.Owner).parked++
+	} else {
+		q.owner(j.Owner).parked--
+	}
+}
+
+// The WFQ arbitration primitives, shared by pop (pickOwner) and the
+// position replay so the two can never drift apart (and pinned against
+// each other by TestAdmitPositionPredictsPopOrder).
+
+// chargePoint is the virtual time at which an owner's next pop is
+// charged: its own finish time, smoothed forward to the queue clock
+// when it returns from idle.
+func chargePoint(vfinish, vtime float64) float64 {
+	if vtime > vfinish {
+		return vtime
+	}
+	return vfinish
+}
+
+// wfqWins reports whether a candidate (charge, name) beats the
+// incumbent: smaller charge point first, owner name as the
+// deterministic tie-break.
+func wfqWins(charge float64, name string, incCharge float64, incName string) bool {
+	return charge < incCharge || (charge == incCharge && name < incName)
+}
+
+// wfqCost is the virtual-time cost one pop charges an owner.
+func wfqCost(weight int) float64 { return 1 / float64(weight) }
+
+// pickOwner returns the eligible owner with the smallest virtual charge
+// point, advancing the virtual clocks. Caller holds q.mu.
+func (q *admitQueue) pickOwner() *ownerShare {
+	var best *ownerShare
+	var bestCharge float64
+	for _, os := range q.owners {
+		if !q.eligible(os) {
+			continue
+		}
+		charge := chargePoint(os.vfinish, q.vtime)
+		if best == nil || wfqWins(charge, os.name, bestCharge, best.name) {
+			best, bestCharge = os, charge
+		}
+	}
+	if best != nil {
+		q.vtime = bestCharge
+		best.vfinish = bestCharge + wfqCost(best.weight)
+	}
+	return best
+}
+
+// pop removes and returns the next job under weighted fair queuing, or
+// nil when no owner is eligible (queue empty, or every backlogged
+// owner is at its in-flight cap — its jobs stay parked in place). The
+// popped job is charged against its owner's in-flight count; the
+// charge is released when the job terminalizes.
 func (q *admitQueue) pop() *Job {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.jobs) == 0 {
+	os := q.pickOwner()
+	if os == nil {
 		return nil
 	}
-	return q.removeAt(0).job
+	j := os.removeAt(0).job
+	os.reserved--
+	os.inFlight++
+	j.usageCharged = true
+	return j
 }
 
 // remove deletes one job by ID, reporting whether it was found. Used by
@@ -76,80 +331,264 @@ func (q *admitQueue) pop() *Job {
 func (q *admitQueue) remove(id string) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for i := range q.jobs {
-		if q.jobs[i].job.ID == id {
-			q.removeAt(i)
-			return true
+	for _, os := range q.owners {
+		for i := range os.jobs {
+			if os.jobs[i].job.ID == id {
+				os.removeAt(i)
+				os.reserved--
+				return true
+			}
 		}
 	}
 	return false
 }
 
-// position returns the 1-based dequeue position of a queued job (1 = next
-// to pop), or 0 when the job is not queued.
+// release returns a terminal job's in-flight and held-host charges to
+// its owner and wakes parked dispatches. It reports whether anything
+// was freed (callers use that to wake idle workers exactly once).
+// Idempotent: only the first call after a pop frees anything.
+func (q *admitQueue) release(j *Job) bool {
+	q.mu.Lock()
+	if !j.usageCharged {
+		q.mu.Unlock()
+		return false
+	}
+	j.usageCharged = false
+	os := q.owner(j.Owner)
+	os.inFlight--
+	os.hostsHeld -= j.hostsCharged
+	j.hostsCharged = 0
+	j.chargedHosts = nil
+	if j.hostParked {
+		// A parked job that terminalized (cancel, shutdown) un-gates its
+		// owner here, whatever its park goroutine is still doing.
+		j.hostParked = false
+		os.parked--
+	}
+	close(q.changed)
+	q.changed = make(chan struct{})
+	q.mu.Unlock()
+	return true
+}
+
+// tryChargeHosts attempts to charge the placement's distinct hosts
+// against the job's owner, recording the usage (always, so /v1/owners
+// counters stay live) and enforcing MaxHostsPerOwner when set. An
+// owner holding nothing may always dispatch one job — a single job
+// larger than the cap runs alone instead of parking forever. Returns
+// false when the job must park until hosts free.
+func (q *admitQueue) tryChargeHosts(j *Job, hosts []string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !j.usageCharged {
+		// The job already terminalized and returned its charges; report
+		// success without charging — the dispatch path observes the
+		// cancellation and goes no further, and hosts charged here would
+		// never be released.
+		return true
+	}
+	os := q.owner(j.Owner)
+	n := len(hosts)
+	if cap := q.quota.MaxHostsPerOwner; cap > 0 && os.hostsHeld > 0 && os.hostsHeld+n > cap {
+		return false
+	}
+	os.hostsHeld += n
+	j.hostsCharged = n
+	j.chargedHosts = make(map[string]bool, n)
+	for _, h := range hosts {
+		j.chargedHosts[h] = true
+	}
+	return true
+}
+
+// chargeReplacementHost adds a host the engine rescheduled one of the
+// job's tasks onto mid-run, keeping the owner's held-hosts ledger
+// truthful as the placement drifts from the dispatched table. The
+// charge bypasses the cap — a running job cannot park — but inflates
+// the owner's usage so subsequent dispatches see it; hosts lost to
+// failure stay charged until the job ends (other tasks of the job may
+// still run there), which errs on the side of under-admission. It
+// returns the job's updated host count and whether anything changed.
+func (q *admitQueue) chargeReplacementHost(j *Job, host string) (int, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !j.usageCharged || host == "" || j.chargedHosts[host] {
+		return j.hostsCharged, false
+	}
+	j.chargedHosts[host] = true
+	j.hostsCharged++
+	q.owner(j.Owner).hostsHeld++
+	return j.hostsCharged, true
+}
+
+// usageChanged returns the current usage broadcast channel: it closes
+// the next time in-flight or held-host usage frees. Parked dispatches
+// fetch it before re-checking quota so a release between check and
+// wait still wakes them.
+func (q *admitQueue) usageChanged() <-chan struct{} {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.changed
+}
+
+// position returns the 1-based dequeue position of a queued job (1 =
+// next to pop), or 0 when the job is not queued — the same arbitration
+// replay positions() serves (so the single-job and listing surfaces
+// can never disagree), stopped early once the target is placed.
 func (q *admitQueue) position(id string) int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	var target *admitEntry
-	for i := range q.jobs {
-		if q.jobs[i].job.ID == id {
-			target = &q.jobs[i]
+	// Cheap O(backlog) membership scan first: Status() asks for jobs
+	// that have already popped (or are not yet pushed) all the time,
+	// and those must not pay for a full arbitration replay.
+	queued := false
+	for _, os := range q.owners {
+		for i := range os.jobs {
+			if os.jobs[i].job.ID == id {
+				queued = true
+				break
+			}
+		}
+		if queued {
 			break
 		}
 	}
-	if target == nil {
+	if !queued {
 		return 0
 	}
-	pos := 1
-	for i := range q.jobs {
-		if q.jobs[i].before(*target) {
-			pos++
-		}
-	}
-	return pos
+	return q.replayPositions(id)[id]
 }
 
-// removeAt deletes index i, restoring the heap. Caller holds q.mu.
-func (q *admitQueue) removeAt(i int) admitEntry {
-	e := q.jobs[i]
-	last := len(q.jobs) - 1
-	q.jobs[i] = q.jobs[last]
-	q.jobs[last] = admitEntry{} // release the *Job reference
-	q.jobs = q.jobs[:last]
+// positions returns the 1-based dequeue position of every queued job
+// in one arbitration replay, O(backlog·owners + backlog·log backlog)
+// for the whole backlog.
+func (q *admitQueue) positions() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.replayPositions("")
+}
+
+// replayPositions replays the weighted-fair arbitration over the
+// current backlog with the live virtual clocks shadowed, assigning
+// each queued job the position pop would drain it at; a non-empty
+// target stops the replay as soon as that job is placed. In-flight
+// caps are ignored — a parked job reports the position it will
+// dispatch from once its owner frees up. The replay uses the same
+// chargePoint / wfqWins / wfqCost primitives as pickOwner, and
+// TestAdmitPositionPredictsPopOrder pins the agreement. Caller holds
+// q.mu.
+func (q *admitQueue) replayPositions(target string) map[string]int {
+	type shadow struct {
+		os      *ownerShare
+		order   []admitEntry // within-owner dequeue order
+		next    int
+		vfinish float64
+	}
+	total := 0
+	shadows := make([]shadow, 0, len(q.owners))
+	for _, os := range q.owners {
+		if len(os.jobs) == 0 {
+			continue
+		}
+		order := append([]admitEntry(nil), os.jobs...)
+		sort.Slice(order, func(i, j int) bool { return order[i].before(order[j]) })
+		shadows = append(shadows, shadow{os: os, order: order, vfinish: os.vfinish})
+		total += len(order)
+	}
+	out := make(map[string]int, total)
+	vtime := q.vtime
+	for pos := 1; pos <= total; pos++ {
+		var best *shadow
+		var bestCharge float64
+		for i := range shadows {
+			s := &shadows[i]
+			if s.next == len(s.order) {
+				continue
+			}
+			charge := chargePoint(s.vfinish, vtime)
+			if best == nil || wfqWins(charge, s.os.name, bestCharge, best.os.name) {
+				best, bestCharge = s, charge
+			}
+		}
+		vtime = bestCharge
+		best.vfinish = bestCharge + wfqCost(best.os.weight)
+		id := best.order[best.next].job.ID
+		out[id] = pos
+		best.next++
+		if id == target {
+			break
+		}
+	}
+	return out
+}
+
+// queuedLen returns the total backlog size across owners (tests and
+// monitoring).
+func (q *admitQueue) queuedLen() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := 0
+	for _, os := range q.owners {
+		n += len(os.jobs)
+	}
+	return n
+}
+
+// ownerWeights snapshots each known owner's fair-share weight.
+func (q *admitQueue) ownerWeights() map[string]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]int, len(q.owners))
+	for name, os := range q.owners {
+		out[name] = os.weight
+	}
+	return out
+}
+
+// --- within-owner aging-rank heap ---
+
+// removeAt deletes index i, restoring the heap. Caller holds the
+// queue's mu.
+func (os *ownerShare) removeAt(i int) admitEntry {
+	e := os.jobs[i]
+	last := len(os.jobs) - 1
+	os.jobs[i] = os.jobs[last]
+	os.jobs[last] = admitEntry{} // release the *Job reference
+	os.jobs = os.jobs[:last]
 	if i < last {
-		q.down(i)
-		q.up(i)
+		os.down(i)
+		os.up(i)
 	}
 	return e
 }
 
-// up sifts index i toward the root. Caller holds q.mu.
-func (q *admitQueue) up(i int) {
+// up sifts index i toward the root.
+func (os *ownerShare) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !q.jobs[i].before(q.jobs[parent]) {
+		if !os.jobs[i].before(os.jobs[parent]) {
 			return
 		}
-		q.jobs[i], q.jobs[parent] = q.jobs[parent], q.jobs[i]
+		os.jobs[i], os.jobs[parent] = os.jobs[parent], os.jobs[i]
 		i = parent
 	}
 }
 
-// down sifts index i toward the leaves. Caller holds q.mu.
-func (q *admitQueue) down(i int) {
-	n := len(q.jobs)
+// down sifts index i toward the leaves.
+func (os *ownerShare) down(i int) {
+	n := len(os.jobs)
 	for {
 		best := i
-		if l := 2*i + 1; l < n && q.jobs[l].before(q.jobs[best]) {
+		if l := 2*i + 1; l < n && os.jobs[l].before(os.jobs[best]) {
 			best = l
 		}
-		if r := 2*i + 2; r < n && q.jobs[r].before(q.jobs[best]) {
+		if r := 2*i + 2; r < n && os.jobs[r].before(os.jobs[best]) {
 			best = r
 		}
 		if best == i {
 			return
 		}
-		q.jobs[i], q.jobs[best] = q.jobs[best], q.jobs[i]
+		os.jobs[i], os.jobs[best] = os.jobs[best], os.jobs[i]
 		i = best
 	}
 }
@@ -161,7 +600,7 @@ type admitEntry struct {
 	seq  uint64 // FIFO tie-break for identical ranks
 }
 
-// before reports whether e dequeues ahead of o.
+// before reports whether e dequeues ahead of o within one owner.
 func (e admitEntry) before(o admitEntry) bool {
 	if e.rank != o.rank {
 		return e.rank > o.rank

@@ -460,7 +460,7 @@ func BenchmarkPriorityAdmission(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			q := newAdmitQueue(30 * time.Second)
+			q := newAdmitQueue(30*time.Second, QuotaConfig{})
 			for _, j := range jobs {
 				q.push(j)
 			}
@@ -470,12 +470,49 @@ func BenchmarkPriorityAdmission(b *testing.B) {
 	})
 }
 
+// BenchmarkFairShareAdmission measures the weighted-fair admission
+// queue on a mixed-owner workload: the same 1024-job batch as
+// BenchmarkPriorityAdmission, but spread across 8 owners with rotating
+// priorities and weights, so every pop exercises the cross-owner
+// virtual-time arbitration on top of the per-owner heaps. Compare with
+// BenchmarkPriorityAdmission/priority-heap (single-owner fast path) —
+// the fair-share layer must stay within 2x of its alloc profile.
+func BenchmarkFairShareAdmission(b *testing.B) {
+	const batch = 1024
+	const owners = 8
+	mkJobs := func() []*Job {
+		jobs := make([]*Job, batch)
+		base := time.Now()
+		for i := range jobs {
+			jobs[i] = &Job{
+				ID:          fmt.Sprintf("job-%d", i),
+				Owner:       fmt.Sprintf("owner-%d", i%owners),
+				priority:    i % 7,
+				shareWeight: 1 + i%4,
+				enqueued:    base.Add(time.Duration(i) * time.Microsecond),
+			}
+		}
+		return jobs
+	}
+	jobs := mkJobs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := newAdmitQueue(30*time.Second, QuotaConfig{})
+		for _, j := range jobs {
+			q.push(j)
+		}
+		for q.pop() != nil {
+		}
+	}
+}
+
 // TestAdmitQueueOrdering pins the admission comparator: higher priority
 // first, FIFO within a priority level, and aging — one extra AgingStep
 // of waiting outranks one level of priority.
 func TestAdmitQueueOrdering(t *testing.T) {
 	const step = time.Second
-	q := newAdmitQueue(step)
+	q := newAdmitQueue(step, QuotaConfig{})
 	t0 := time.Unix(1000, 0)
 	mk := func(id string, prio int, at time.Time) *Job {
 		return &Job{ID: id, priority: prio, enqueued: at}

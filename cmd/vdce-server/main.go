@@ -1,14 +1,19 @@
 // Command vdce-server runs one VDCE site: the Site Manager RPC endpoint
 // (scheduling, monitoring, and execution-record traffic) plus the
 // Application Editor HTTP API, over a fabricated testbed site.
-// Submissions flow through the environment's priority admission
-// pipeline, so many editor clients are served simultaneously and
-// higher-priority users overtake a saturated queue. The versioned
-// job-control API (GET /v1/jobs with owner/state filters and
-// pagination, GET /v1/jobs/{id}, DELETE /v1/jobs/{id} to cancel) serves
-// status and control; the legacy GET /jobs dump remains.
+// Submissions flow through the environment's fair-share priority
+// admission pipeline: within one owner higher-priority jobs overtake a
+// saturated queue (with aging), while across owners the queue drains
+// by weighted fair queuing so no single user monopolizes the site; the
+// -quota-* flags add per-owner caps (queued submissions are rejected
+// with 429 over the cap, in-flight and held-host excess parks). The
+// versioned job-control API (GET /v1/jobs with owner/state filters and
+// pagination, GET /v1/jobs/{id}, DELETE /v1/jobs/{id} to cancel,
+// GET /v1/owners for per-owner weights/quotas/usage) serves status and
+// control; the legacy GET /jobs dump remains.
 //
 //	vdce-server -hosts 8 -http 127.0.0.1:8470 -workers 4 -parallel 8
+//	vdce-server -hosts 8 -quota-queued 32 -quota-inflight 4
 //
 // The heartbeat failure detector runs by default (-detector=false
 // disables it), so crashed or partitioned hosts are confirmed dead,
@@ -78,6 +83,9 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 	queue := fs.Int("queue", 0, "admission queue depth (0 = default)")
 	parallel := fs.Int("parallel", 0, "max concurrently executing applications (0 = default)")
 	detector := fs.Bool("detector", true, "run the heartbeat failure detector")
+	quotaQueued := fs.Int("quota-queued", 0, "max queued jobs per owner (0 = unlimited)")
+	quotaInflight := fs.Int("quota-inflight", 0, "max scheduling+running jobs per owner (0 = unlimited; excess parks in the queue — pair with -quota-queued so a throttled owner's backlog cannot fill the shared queue)")
+	quotaHosts := fs.Int("quota-hosts", 0, "max concurrently held hosts per owner (0 = unlimited; excess parks before execution)")
 	chaosName := fs.String("chaos", "", "play a fault scenario against the live testbed: kill-quarter|rolling-restart|site-partition")
 	chaosSpan := fs.Duration("chaos-span", 30*time.Second, "duration the -chaos scenario is spread over")
 	if err := fs.Parse(args); err != nil {
@@ -100,6 +108,11 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 			QueueDepth:        *queue,
 			SchedulerWorkers:  *workers,
 			MaxConcurrentRuns: *parallel,
+			Quota: vdce.QuotaConfig{
+				MaxQueuedPerOwner:   *quotaQueued,
+				MaxInFlightPerOwner: *quotaInflight,
+				MaxHostsPerOwner:    *quotaHosts,
+			},
 		},
 	})
 	if err != nil {
@@ -142,6 +155,7 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 	mux.Handle("GET /v1/jobs", jobsV1)
 	mux.Handle("GET /v1/jobs/{id}", jobsV1)
 	mux.Handle("DELETE /v1/jobs/{id}", jobsV1)
+	mux.Handle("GET /v1/owners", jobsV1)
 	// Legacy job lifecycle monitoring: every submission's state, straight
 	// off the environment's job board. Shares the editor's login model.
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -178,6 +192,7 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 	fmt.Fprintf(out, "  application editor: http://%s (user_k / vdce)\n", addr)
 	fmt.Fprintf(out, "  jobs endpoint     : http://%s/jobs\n", addr)
 	fmt.Fprintf(out, "  job-control API   : http://%s/v1/jobs\n", addr)
+	fmt.Fprintf(out, "  owners API        : http://%s/v1/owners\n", addr)
 	fmt.Fprintf(out, "  hosts:\n")
 	for _, h := range env.TB.Sites[0].Hosts {
 		fmt.Fprintf(out, "    %-28s %s %s speed=%.2f mem=%dMB\n",

@@ -5,10 +5,13 @@
 // exercising the server's multi-application submission pipeline.
 //
 // Submissions go through the versioned job-control API
-// (POST /v1/apps/{id}/submit with -priority, -deadline, and -maxhosts),
-// then each job is polled on GET /v1/jobs/{id}: queue position and
-// state transitions are reported as they happen, and the command exits
-// non-zero if any submitted job is rejected, fails, or is canceled.
+// (POST /v1/apps/{id}/submit with -priority, -deadline, -maxhosts, and
+// -weight for the owner's fair-share weight), then each job is polled
+// on GET /v1/jobs/{id}: queue position and state transitions are
+// reported as they happen, and the command exits non-zero if any
+// submitted job is rejected, fails, or is canceled. A per-owner quota
+// rejection (HTTP 429) is rendered distinctly — the server is healthy,
+// the owner is over its cap.
 // Servers without the job pipeline (schedule-only) fall back to the
 // legacy synchronous submit.
 //
@@ -57,6 +60,7 @@ func run(args []string, out io.Writer) error {
 	priority := fs.Int("priority", -1, "job priority (-1 = the account's default)")
 	deadline := fs.Duration("deadline", 0, "job deadline from submission (0 = none)")
 	maxHosts := fs.Int("maxhosts", -1, "neighbor-site count k (-1 = server default)")
+	weight := fs.Int("weight", 0, "owner fair-share weight (0 = the account's default)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -86,6 +90,9 @@ func run(args []string, out io.Writer) error {
 	}
 	if *maxHosts >= 0 {
 		body["max_hosts"] = *maxHosts
+	}
+	if *weight > 0 {
+		body["share_weight"] = *weight
 	}
 
 	var mu sync.Mutex // serializes report lines from concurrent watchers
@@ -144,6 +151,16 @@ func submitOne(server, token string, graph *afg.Graph, body map[string]any, say 
 		prio, _ := job["priority"].(float64)
 		say("submitted %q as %s: job %s (priority %d)\n", graph.Name, appID, id, int(prio))
 		return watchJob(server, token, id, say)
+	case http.StatusTooManyRequests:
+		// Per-owner quota rejection: render it distinctly from job
+		// failures — the server is healthy, the owner is over its cap
+		// and should back off or raise its quota.
+		msg, _ := v1["error"].(string)
+		if msg == "" {
+			msg = "owner quota exceeded"
+		}
+		say("submission of %q rejected by owner quota: %s\n", graph.Name, msg)
+		return fmt.Errorf("owner quota exceeded: %s", msg)
 	case http.StatusNotFound, http.StatusServiceUnavailable:
 		// Schedule-only or pre-/v1 server: legacy synchronous submit.
 		legacy, lcode, lerr := request(server, token, "POST", "/apps/"+appID+"/submit", nil)

@@ -4,6 +4,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"vdce"
 	"vdce/internal/testbed"
@@ -75,6 +76,48 @@ func TestRunExitsNonZeroOnCanceledJob(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "failed") {
 		t.Errorf("no failure transition in output:\n%s", out.String())
+	}
+}
+
+// TestRunRendersQuotaRejectionDistinctly pins the 429 path: a server
+// enforcing a per-owner queued cap rejects the overflow copy, and the
+// client reports it as a quota rejection (not a job failure) while
+// still exiting non-zero.
+func TestRunRendersQuotaRejectionDistinctly(t *testing.T) {
+	env, err := vdce.New(vdce.Config{
+		Testbed: testbed.Config{Sites: 1, HostsPerGroup: 3, Seed: 12},
+		Pipeline: vdce.PipelineConfig{
+			SchedulerWorkers:  1,
+			MaxConcurrentRuns: 1,
+			Quota:             vdce.QuotaConfig{MaxQueuedPerOwner: 1, MaxInFlightPerOwner: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.Close)
+	srv := httptest.NewServer(env.EditorServer(true, 0).Handler())
+	t.Cleanup(srv.Close)
+	// Suspend the console so nothing completes while the 6 copies
+	// submit: the first occupies the single in-flight slot, the second
+	// the single queued slot, the rest overflow to 429s. The timed
+	// resume then lets the two accepted jobs finish so their watchers
+	// (and run itself) return.
+	env.Console.Suspend()
+	timer := time.AfterFunc(2*time.Second, env.Console.Resume)
+	defer timer.Stop()
+	defer env.Console.Resume()
+
+	var out strings.Builder
+	err = run([]string{"-server", srv.URL, "-app", "c3i", "-n", "6", "-count", "6", "-weight", "2"}, &out)
+	if err == nil {
+		t.Fatalf("run succeeded despite quota overflow:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "owner quota exceeded") {
+		t.Errorf("error %q does not name the quota", err)
+	}
+	if !strings.Contains(out.String(), "rejected by owner quota") {
+		t.Errorf("no distinct quota rendering in output:\n%s", out.String())
 	}
 }
 

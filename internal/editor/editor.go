@@ -49,6 +49,9 @@ type JobOptions struct {
 	// MaxHosts overrides the scheduler's neighbor-site count k (still
 	// clamped by the owner's access domain).
 	MaxHosts *int
+	// ShareWeight overrides the owner's fair-share weight (>= 1) used
+	// by weighted fair queuing across owners.
+	ShareWeight *int
 }
 
 // JobSubmitter enqueues a validated application for asynchronous
@@ -62,6 +65,12 @@ type JobSubmitter func(ctx context.Context, owner string, g *afg.Graph, o JobOpt
 // the v1 submit endpoint answers 400 instead of 500. Wrap with
 // fmt.Errorf("%w: ...", ErrBadSubmission).
 var ErrBadSubmission = errors.New("editor: bad submission")
+
+// ErrQuotaExceeded marks JobSubmitter failures caused by the owner
+// being over a per-owner admission quota, so the v1 submit endpoint
+// answers 429 (back off and retry) instead of 400 or 500. Wrap with
+// fmt.Errorf("%w: ...", ErrQuotaExceeded).
+var ErrQuotaExceeded = errors.New("editor: owner quota exceeded")
 
 // Server is the editor backend for one VDCE site.
 type Server struct {
@@ -120,6 +129,7 @@ func (s *Server) Handler() http.Handler {
 	if s.Jobs != nil {
 		mux.Handle("/v1/jobs", s.Jobs)
 		mux.Handle("/v1/jobs/{id}", s.Jobs)
+		mux.Handle("/v1/owners", s.Jobs)
 	}
 	return mux
 }
@@ -474,6 +484,8 @@ type submitV1Request struct {
 	DeadlineMS int64 `json:"deadline_ms"`
 	// MaxHosts overrides the scheduler's neighbor-site count k.
 	MaxHosts *int `json:"max_hosts"`
+	// ShareWeight overrides the owner's fair-share weight (>= 1).
+	ShareWeight *int `json:"share_weight"`
 }
 
 // handleSubmitV1 enqueues the application asynchronously with job
@@ -511,13 +523,17 @@ func (s *Server) handleSubmitV1(w http.ResponseWriter, r *http.Request, user str
 		return
 	}
 	status, err := s.SubmitJob(r.Context(), user, g, JobOptions{
-		Priority: req.Priority,
-		Deadline: time.Duration(req.DeadlineMS) * time.Millisecond,
-		MaxHosts: req.MaxHosts,
+		Priority:    req.Priority,
+		Deadline:    time.Duration(req.DeadlineMS) * time.Millisecond,
+		MaxHosts:    req.MaxHosts,
+		ShareWeight: req.ShareWeight,
 	})
 	if err != nil {
 		code := http.StatusInternalServerError
-		if errors.Is(err, ErrBadSubmission) {
+		switch {
+		case errors.Is(err, ErrQuotaExceeded):
+			code = http.StatusTooManyRequests
+		case errors.Is(err, ErrBadSubmission):
 			code = http.StatusBadRequest
 		}
 		writeErr(w, code, err)

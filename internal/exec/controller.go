@@ -147,7 +147,7 @@ func (ac *appController) executeWithRescheduling(ctx context.Context, in []taskl
 		}
 		ac.app.setPlacement(ac.task.ID, np)
 		ac.app.emit(Event{Type: EventRescheduled, Task: ac.task.ID, TaskName: ac.task.Name,
-			Host: np.Hosts[0]})
+			Host: np.Hosts[0], Hosts: append([]string(nil), np.Hosts...)})
 	}
 	return nil, fmt.Errorf("exec: task %d exhausted %d attempts", ac.task.ID, ac.app.maxAttempts)
 }

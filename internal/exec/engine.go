@@ -187,6 +187,9 @@ type Event struct {
 	// Host is the offending host for failures/overloads and the new
 	// primary host for reschedules.
 	Host string
+	// Hosts is the full replacement placement for reschedules (the
+	// primary plus any parallel nodes); nil for other event types.
+	Hosts []string
 	// Reason is the watchdog's termination reason (failures/overloads).
 	Reason string
 }

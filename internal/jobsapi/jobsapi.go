@@ -9,6 +9,8 @@
 //	                          offset, limit)
 //	GET    /v1/jobs/{id}      one job's status
 //	DELETE /v1/jobs/{id}      cancel a queued or running job
+//	GET    /v1/owners         per-owner fair-share weights, quota
+//	                          limits, and live usage counters
 //
 // All endpoints require authentication; the embedding server supplies
 // the session model.
@@ -41,6 +43,10 @@ type Source interface {
 	// CancelJob cancels a queued or running job; canceling a terminal
 	// job is a no-op. It errors only for unknown IDs.
 	CancelJob(id string) error
+	// Owners returns every known owner's fair-share weight, quota
+	// limits, and live usage counters, sorted by owner name. The usage
+	// counters must come from the same ground truth ListJobs serves.
+	Owners() []services.OwnerStatus
 }
 
 // Config wires one mount of the API.
@@ -63,6 +69,7 @@ func Handler(cfg Config) http.Handler {
 	mux.HandleFunc("GET /v1/jobs", cfg.auth(cfg.handleList))
 	mux.HandleFunc("GET /v1/jobs/{id}", cfg.auth(cfg.handleGet))
 	mux.HandleFunc("DELETE /v1/jobs/{id}", cfg.auth(cfg.handleCancel))
+	mux.HandleFunc("GET /v1/owners", cfg.auth(cfg.handleOwners))
 	return mux
 }
 
@@ -142,6 +149,26 @@ func (c Config) handleList(w http.ResponseWriter, r *http.Request, user string) 
 	writeJSON(w, http.StatusOK, listResponse{
 		Jobs: jobs[offset:end], Total: total, Offset: offset, Limit: limit,
 	})
+}
+
+// handleOwners serves GET /v1/owners: each owner's fair-share weight,
+// quota limits, and live usage. On owner-scoped mounts a user sees
+// only their own row (possibly empty, if they never submitted).
+func (c Config) handleOwners(w http.ResponseWriter, r *http.Request, user string) {
+	owners := c.Source.Owners()
+	if c.OwnerScoped {
+		scoped := owners[:0]
+		for _, o := range owners {
+			if o.Owner == user {
+				scoped = append(scoped, o)
+			}
+		}
+		owners = scoped
+	}
+	if owners == nil {
+		owners = []services.OwnerStatus{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"owners": owners})
 }
 
 // fetch resolves one job for the authenticated user, writing the 404 /

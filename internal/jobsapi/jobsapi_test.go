@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -45,6 +46,35 @@ func (f *fakeSource) CancelJob(id string) error {
 	}
 	f.canceled = append(f.canceled, id)
 	return nil
+}
+
+// Owners derives per-owner usage from the fixed job set, weight 1 for
+// everyone, no quota limits.
+func (f *fakeSource) Owners() []services.OwnerStatus {
+	usage := make(map[string]services.OwnerUsage)
+	var names []string
+	for _, s := range f.jobs {
+		u, ok := usage[s.Owner]
+		if !ok {
+			names = append(names, s.Owner)
+		}
+		switch s.State {
+		case services.JobStateQueued:
+			u.Queued++
+		case services.JobStateScheduling, services.JobStateRunning:
+			u.InFlight++
+		case services.JobStateDone:
+			u.Done++
+		}
+		u.Total++
+		usage[s.Owner] = u
+	}
+	sort.Strings(names)
+	out := make([]services.OwnerStatus, 0, len(names))
+	for _, n := range names {
+		out = append(out, services.OwnerStatus{Owner: n, Weight: 1, Usage: usage[n]})
+	}
+	return out
 }
 
 func newTestAPI(t *testing.T, n int, ownerScoped bool) (*httptest.Server, *fakeSource) {
@@ -167,6 +197,46 @@ func TestGetAndAuth(t *testing.T) {
 	}
 	if _, code := call(t, ts, "GET", "/v1/jobs/job-404", "ana"); code != http.StatusNotFound {
 		t.Fatalf("get unknown = %d, want 404", code)
+	}
+}
+
+func TestOwnersEndpoint(t *testing.T) {
+	// Unscoped: every owner's row, sorted, with usage matching the jobs.
+	ts, src := newTestAPI(t, 10, false)
+	if _, code := call(t, ts, "GET", "/v1/owners", ""); code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated owners = %d, want 401", code)
+	}
+	out, code := call(t, ts, "GET", "/v1/owners", "ana")
+	if code != http.StatusOK {
+		t.Fatalf("owners = %d", code)
+	}
+	rows, _ := out["owners"].([]any)
+	want := src.Owners()
+	if len(rows) != len(want) {
+		t.Fatalf("owners rows = %d, want %d", len(rows), len(want))
+	}
+	for i, item := range rows {
+		row := item.(map[string]any)
+		if row["owner"] != want[i].Owner {
+			t.Fatalf("owners[%d] = %v, want %s", i, row["owner"], want[i].Owner)
+		}
+		usage := row["usage"].(map[string]any)
+		if int(usage["queued"].(float64)) != want[i].Usage.Queued ||
+			int(usage["total"].(float64)) != want[i].Usage.Total {
+			t.Fatalf("owners[%d] usage %v does not match source %+v", i, usage, want[i].Usage)
+		}
+	}
+
+	// Owner-scoped: only the caller's row, even for users with no jobs.
+	ts2, _ := newTestAPI(t, 10, true)
+	out, _ = call(t, ts2, "GET", "/v1/owners", "bo")
+	rows, _ = out["owners"].([]any)
+	if len(rows) != 1 || rows[0].(map[string]any)["owner"] != "bo" {
+		t.Fatalf("scoped owners = %v, want just bo", rows)
+	}
+	out, _ = call(t, ts2, "GET", "/v1/owners", "stranger")
+	if rows, _ := out["owners"].([]any); len(rows) != 0 {
+		t.Fatalf("scoped owners for a jobless user = %v, want empty", rows)
 	}
 }
 

@@ -29,6 +29,14 @@ type JobStatus struct {
 	// Priority is the job's base admission priority (owner account
 	// priority unless overridden at submit time).
 	Priority int `json:"priority"`
+	// ShareWeight is the owner fair-share weight this submission
+	// carried: across owners, the admission queue drains in proportion
+	// to weight.
+	ShareWeight int `json:"share_weight,omitempty"`
+	// HostsHeld is how many distinct testbed hosts the job's placement
+	// holds while it is dispatched (0 while queued and after it
+	// terminalizes) — the unit the per-owner held-hosts quota charges.
+	HostsHeld int `json:"hosts_held,omitempty"`
 	// QueuePosition is the job's 1-based dequeue position while queued
 	// (1 = next to be scheduled); 0 once it left the admission queue.
 	QueuePosition int               `json:"queue_position,omitempty"`
@@ -76,6 +84,40 @@ func SortJobs(jobs []JobStatus) {
 		}
 		return jobs[i].ID < jobs[j].ID
 	})
+}
+
+// OwnerUsage is one owner's live aggregate over the job board: how
+// many jobs sit in each phase of the pipeline and how many testbed
+// hosts the owner's running placements hold. It is the ground truth
+// the /v1/owners counters report.
+type OwnerUsage struct {
+	// Queued counts jobs still in the admission queue.
+	Queued int `json:"queued"`
+	// InFlight counts scheduling + running jobs.
+	InFlight int `json:"in_flight"`
+	// HostsHeld sums each dispatched job's distinct placement hosts —
+	// host slots, so two jobs sharing a host count it twice; the same
+	// conservative accounting the per-owner hosts quota enforces.
+	HostsHeld int `json:"hosts_held"`
+	// Terminal tallies.
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+	// Total is every job the board retains for the owner.
+	Total int `json:"total"`
+}
+
+// OwnerStatus is one owner's row in the /v1/owners listing: fair-share
+// weight, configured per-owner quota limits (0 = unlimited), and live
+// usage.
+type OwnerStatus struct {
+	Owner  string `json:"owner"`
+	Weight int    `json:"weight"`
+	// Quota limits; zero means unlimited and is omitted from JSON.
+	MaxQueued   int        `json:"max_queued,omitempty"`
+	MaxInFlight int        `json:"max_in_flight,omitempty"`
+	MaxHosts    int        `json:"max_hosts,omitempty"`
+	Usage       OwnerUsage `json:"usage"`
 }
 
 // JobBoard is the monitoring view of the submission pipeline: the
@@ -147,6 +189,34 @@ func (b *JobBoard) ListFiltered(owner, state string) []JobStatus {
 	}
 	b.mu.Unlock()
 	SortJobs(out)
+	return out
+}
+
+// OwnerUsages aggregates the board by owner: per-phase job counts and
+// held hosts, keyed by owner name (the anonymous owner is ""). This is
+// the ground-truth source behind the /v1/owners counters.
+func (b *JobBoard) OwnerUsages() map[string]OwnerUsage {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]OwnerUsage)
+	for _, s := range b.jobs {
+		u := out[s.Owner]
+		switch s.State {
+		case JobStateQueued:
+			u.Queued++
+		case JobStateScheduling, JobStateRunning:
+			u.InFlight++
+		case JobStateDone:
+			u.Done++
+		case JobStateFailed:
+			u.Failed++
+		case JobStateCanceled:
+			u.Canceled++
+		}
+		u.HostsHeld += s.HostsHeld
+		u.Total++
+		out[s.Owner] = u
+	}
 	return out
 }
 

@@ -6,11 +6,13 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
 	"vdce/internal/repository"
 	"vdce/internal/services"
+	"vdce/internal/testbed"
 )
 
 // jobsClient is a minimal authenticated HTTP client for the editor's
@@ -303,6 +305,104 @@ func TestHTTPDeadlineSubmit(t *testing.T) {
 	defer cancel()
 	if err := env.Drain(drainCtx); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestHTTPQuotaRejectionAndOwners is the quota acceptance scenario on
+// the editor's owner-scoped /v1 surface: a queued-cap overflow answers
+// 429 with a JSON quota error (in-flight overflow parks instead), and
+// GET /v1/owners reports the caller's weight, limits, and usage
+// counters matching the job board's ground truth.
+func TestHTTPQuotaRejectionAndOwners(t *testing.T) {
+	env := newEnv(t, Config{
+		Testbed: testbed.Config{Sites: 1, HostsPerGroup: 2, Seed: 94},
+		Pipeline: PipelineConfig{
+			QueueDepth:        16,
+			SchedulerWorkers:  1,
+			MaxConcurrentRuns: 1,
+			Quota: QuotaConfig{
+				MaxQueuedPerOwner:   2,
+				MaxInFlightPerOwner: 1,
+			},
+		},
+	})
+	env.Console.Suspend()
+	ts := httptest.NewServer(env.EditorServer(true, 0).Handler())
+	defer ts.Close()
+	c := newJobsClient(t, ts.URL, "user_k", "vdce")
+
+	// First job dispatches (owner hits the in-flight cap of 1); the next
+	// two park in the queue; the fourth is over the queued cap.
+	firstID := c.submitV1(t, c.importApp(t, 1), nil)
+	c.waitState(t, firstID, services.JobStateRunning, 30*time.Second)
+	secondID := c.submitV1(t, c.importApp(t, 1), nil)
+	c.submitV1(t, c.importApp(t, 1), nil)
+	out, code := c.try("POST", "/v1/apps/"+c.importApp(t, 1)+"/submit", nil)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit = %d %v, want 429", code, out)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "quota") {
+		t.Fatalf("429 body does not mention the quota: %v", out)
+	}
+	// The in-flight overflow parked — it is queued, not rejected.
+	if got := c.jobStatus(t, secondID)["state"]; got != services.JobStateQueued {
+		t.Fatalf("in-flight overflow state = %v, want queued (parked)", got)
+	}
+
+	// /v1/owners on the owner-scoped mount: exactly the caller's row,
+	// with weight from the account (user_k priority 5), the configured
+	// limits, and counters matching the board's ground truth.
+	owners := c.do("GET", "/v1/owners", nil, http.StatusOK)
+	rows, _ := owners["owners"].([]any)
+	if len(rows) != 1 {
+		t.Fatalf("owner-scoped /v1/owners rows = %d, want 1: %v", len(rows), rows)
+	}
+	row := rows[0].(map[string]any)
+	if row["owner"] != "user_k" {
+		t.Fatalf("owners row = %v, want user_k", row["owner"])
+	}
+	if w, _ := row["weight"].(float64); w != 5 {
+		t.Fatalf("owners weight = %v, want the account priority 5", row["weight"])
+	}
+	if mq, _ := row["max_queued"].(float64); mq != 2 {
+		t.Fatalf("owners max_queued = %v, want 2", row["max_queued"])
+	}
+	if mi, _ := row["max_in_flight"].(float64); mi != 1 {
+		t.Fatalf("owners max_in_flight = %v, want 1", row["max_in_flight"])
+	}
+	usage, _ := row["usage"].(map[string]any)
+	truth := env.Board.OwnerUsages()["user_k"]
+	if int(usage["queued"].(float64)) != truth.Queued ||
+		int(usage["in_flight"].(float64)) != truth.InFlight ||
+		int(usage["hosts_held"].(float64)) != truth.HostsHeld ||
+		int(usage["total"].(float64)) != truth.Total {
+		t.Fatalf("/v1/owners usage %v does not match JobBoard ground truth %+v", usage, truth)
+	}
+	if truth.Queued != 2 || truth.InFlight != 1 {
+		t.Fatalf("ground truth = %+v, want 2 queued / 1 in flight", truth)
+	}
+
+	// Drain; freed quota admits again and counters return to rest.
+	env.Console.Resume()
+	drainCtx, cancel := contextWithTimeout(4 * time.Minute)
+	defer cancel()
+	if err := env.Drain(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	c.submitV1(t, c.importApp(t, 1), nil)
+	drainCtx2, cancel2 := contextWithTimeout(4 * time.Minute)
+	defer cancel2()
+	if err := env.Drain(drainCtx2); err != nil {
+		t.Fatal(err)
+	}
+	owners = c.do("GET", "/v1/owners", nil, http.StatusOK)
+	rows, _ = owners["owners"].([]any)
+	usage, _ = rows[0].(map[string]any)["usage"].(map[string]any)
+	if q, inf := usage["queued"].(float64), usage["in_flight"].(float64); q != 0 || inf != 0 {
+		t.Fatalf("post-drain usage = %v, want 0 queued / 0 in flight", usage)
+	}
+	if done, _ := usage["done"].(float64); done != 4 {
+		t.Fatalf("post-drain done = %v, want 4", usage["done"])
 	}
 }
 

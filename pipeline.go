@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -37,6 +38,12 @@ type PipelineConfig struct {
 	// level per AgingStep of waiting, so a low-priority job eventually
 	// overtakes a stream of higher-priority arrivals. Default 30s.
 	AgingStep time.Duration
+	// Quota bounds each owner's simultaneous use of the pipeline:
+	// queued jobs (admission rejects with a QuotaError), in-flight jobs
+	// (excess parks in the queue while other owners dispatch past it),
+	// and concurrently held hosts (a scheduled job parks before
+	// execution). Zero fields are unlimited.
+	Quota QuotaConfig
 }
 
 func (c *PipelineConfig) fillDefaults() {
@@ -116,12 +123,13 @@ var (
 type SubmitOption func(*submitOptions)
 
 type submitOptions struct {
-	owner    string
-	priority *int
-	deadline time.Time
-	home     int // -1 = round-robin (or site 0 for owned jobs)
-	maxHosts int
-	labels   map[string]string
+	owner       string
+	priority    *int
+	shareWeight *int
+	deadline    time.Time
+	home        int // -1 = round-robin (or site 0 for owned jobs)
+	maxHosts    int
+	labels      map[string]string
 }
 
 // WithOwner submits on behalf of a named user: the job schedules from
@@ -139,6 +147,37 @@ func WithOwner(owner string) SubmitOption {
 // anonymous jobs default to 0.
 func WithPriority(p int) SubmitOption {
 	return func(o *submitOptions) { o.priority = &p }
+}
+
+// MaxShareWeight caps an owner's fair-share weight. The weight field
+// is client-settable on the HTTP surface, so — like the saturating
+// admission-priority clamp — it must not let one caller assign itself
+// an effectively infinite dispatch share: weights are clamped into
+// [1, MaxShareWeight], bounding any owner's advantage at
+// MaxShareWeight:1 while every other owner keeps a nonzero share.
+const MaxShareWeight = 100
+
+// WithShareWeight sets the owner's weighted-fair-queuing weight,
+// clamped into [1, MaxShareWeight]. Across owners the admission queue
+// drains in proportion to weight — an owner with weight 2 dispatches
+// twice the jobs of a weight-1 owner over any backlogged interval —
+// regardless of job priorities, which only order jobs within one
+// owner. Without it, owned jobs default their weight from the owner's
+// user-account priority and anonymous jobs weigh 1. The owner's
+// latest submission's weight wins.
+func WithShareWeight(w int) SubmitOption {
+	return func(o *submitOptions) { o.shareWeight = &w }
+}
+
+// clampShareWeight saturates a weight into [1, MaxShareWeight].
+func clampShareWeight(w int) int {
+	if w < 1 {
+		return 1
+	}
+	if w > MaxShareWeight {
+		return MaxShareWeight
+	}
+	return w
 }
 
 // WithDeadline bounds the job's whole lifetime: a job still queued at the
@@ -204,6 +243,20 @@ type Job struct {
 	// priority is the base admission priority; the effective priority
 	// ages upward while the job waits (see admitQueue).
 	priority int
+	// shareWeight is the owner's resolved fair-share weight carried by
+	// this submission (>= 1; the owner's latest submission wins).
+	shareWeight int
+	// usageCharged, hostsCharged, and chargedHosts are the admission
+	// queue's quota ledger for this job (in-flight charge from pop, host
+	// charges from dispatch plus any mid-run replacement hosts); all are
+	// guarded by the admission queue's lock, not j.mu.
+	usageCharged bool
+	hostsCharged int
+	chargedHosts map[string]bool
+	// hostParked marks a job parked on the held-hosts cap (guarded by
+	// the admission queue's lock); while set, the owner is skipped by
+	// pop so parked dispatches stay bounded at one per owner.
+	hostParked bool
 	// deadline bounds the job's lifetime; zero means none.
 	deadline time.Time
 	// enqueued is when the job entered the admission queue.
@@ -234,6 +287,10 @@ type Job struct {
 	reschedules int
 	failedHosts []string
 	failedSeen  map[string]bool
+	// hostsHeld mirrors hostsCharged under j.mu for Status snapshots:
+	// the distinct testbed hosts this job's placement holds while it is
+	// dispatched, zeroed when it terminalizes.
+	hostsHeld int
 }
 
 // State returns the job's current lifecycle state.
@@ -245,6 +302,10 @@ func (j *Job) State() JobState {
 
 // Priority returns the job's base admission priority.
 func (j *Job) Priority() int { return j.priority }
+
+// ShareWeight returns the owner fair-share weight this submission
+// carried (>= 1).
+func (j *Job) ShareWeight() int { return j.shareWeight }
 
 // Deadline returns the job's deadline and whether one was set.
 func (j *Job) Deadline() (time.Time, bool) { return j.deadline, !j.deadline.IsZero() }
@@ -355,7 +416,9 @@ func (j *Job) FailedHosts() []string {
 
 // execEvent consumes the engine's recovery event stream for this job,
 // keeping the status' reschedule/failed-host view live while the run is
-// still in flight.
+// still in flight. A reschedule's replacement host is charged against
+// the owner's held-hosts ledger so quota accounting tracks where the
+// job actually runs, not just where it was dispatched.
 func (j *Job) execEvent(ev exec.Event) {
 	j.mu.Lock()
 	switch ev.Type {
@@ -374,12 +437,34 @@ func (j *Job) execEvent(ev exec.Event) {
 		return
 	}
 	j.mu.Unlock()
+	if ev.Type == exec.EventRescheduled && j.pipe != nil {
+		hosts := ev.Hosts
+		if len(hosts) == 0 {
+			hosts = []string{ev.Host}
+		}
+		for _, h := range hosts {
+			if n, changed := j.pipe.admit.chargeReplacementHost(j, h); changed {
+				j.noteHostsHeld(n)
+			}
+		}
+	}
 	j.publish()
 }
 
 // Status snapshots the job for the monitoring board and the job-control
 // API. Queued jobs carry their live admission-queue position.
 func (j *Job) Status() services.JobStatus {
+	s := j.statusSnapshot()
+	if s.State == services.JobStateQueued && j.pipe != nil {
+		s.QueuePosition = j.pipe.admit.position(j.ID)
+	}
+	return s
+}
+
+// statusSnapshot is Status without the admission-queue position lookup;
+// listing paths batch-compute positions in one arbitration replay
+// instead of one per job.
+func (j *Job) statusSnapshot() services.JobStatus {
 	j.mu.Lock()
 	s := services.JobStatus{
 		ID:          j.ID,
@@ -387,6 +472,8 @@ func (j *Job) Status() services.JobStatus {
 		Owner:       j.Owner,
 		State:       j.state.String(),
 		Priority:    j.priority,
+		ShareWeight: j.shareWeight,
+		HostsHeld:   j.hostsHeld,
 		Labels:      j.Labels,
 		Reschedules: j.reschedules,
 		FailedHosts: append([]string(nil), j.failedHosts...),
@@ -400,11 +487,7 @@ func (j *Job) Status() services.JobStatus {
 	if j.err != nil {
 		s.Error = j.err.Error()
 	}
-	queued := j.state == JobQueued
 	j.mu.Unlock()
-	if queued && j.pipe != nil {
-		s.QueuePosition = j.pipe.admit.position(j.ID)
-	}
 	return s
 }
 
@@ -497,10 +580,17 @@ func (j *Job) terminalize(state JobState, err error, res *exec.Result) bool {
 	j.err = err
 	j.result = res
 	j.finished = time.Now()
+	j.hostsHeld = 0
 	expiry := j.expiry
 	j.mu.Unlock()
 	if expiry != nil {
 		expiry.Stop()
+	}
+	// Return the job's in-flight and held-host quota charges before the
+	// final status publishes, so owner counters never show a terminal
+	// job as still consuming capacity.
+	if j.pipe != nil {
+		j.pipe.jobReleased(j)
 	}
 	j.publish()
 	close(j.done)
@@ -565,7 +655,7 @@ func startPipeline(ctx context.Context, env *Environment, cfg PipelineConfig) *p
 		env:   env,
 		cfg:   cfg,
 		ctx:   ctx,
-		admit: newAdmitQueue(cfg.AgingStep),
+		admit: newAdmitQueue(cfg.AgingStep, cfg.Quota),
 		slots: make(chan struct{}, cfg.QueueDepth),
 		// One wakeup token per possible queued job: a lost wakeup could
 		// otherwise leave a job queued while a worker sleeps. Stale tokens
@@ -585,17 +675,19 @@ func startPipeline(ctx context.Context, env *Environment, cfg PipelineConfig) *p
 
 // submitSpec is a fully resolved submission (options applied).
 type submitSpec struct {
-	owner    string
-	graph    *afg.Graph
-	k        int
-	home     int // < 0 picks sites round-robin
-	priority int
-	deadline time.Time
-	labels   map[string]string
+	owner       string
+	graph       *afg.Graph
+	k           int
+	home        int // < 0 picks sites round-robin
+	priority    int
+	shareWeight int
+	deadline    time.Time
+	labels      map[string]string
 }
 
-// submit admits a job into the priority queue, blocking while it is
-// full.
+// submit admits a job into the fair-share priority queue, blocking
+// while it is full. An owner over its queued-jobs quota is rejected
+// with a typed QuotaError before consuming any shared queue capacity.
 func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
 	if err := spec.graph.Validate(); err != nil {
 		return nil, err
@@ -606,25 +698,34 @@ func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
 	if !spec.deadline.IsZero() && !time.Now().Before(spec.deadline) {
 		return nil, ErrJobDeadlineExceeded
 	}
+	// Claim the owner's queued-jobs quota first: the reservation covers
+	// the whole queued phase (including the wait for a queue slot below)
+	// and is returned when the job pops, is removed, or dies before
+	// reaching the queue.
+	if err := p.admit.reserveQueued(spec.owner); err != nil {
+		return nil, err
+	}
 	now := time.Now()
 	job := &Job{
-		Owner:     spec.owner,
-		Graph:     spec.graph,
-		K:         spec.k,
-		Labels:    spec.labels,
-		priority:  spec.priority,
-		deadline:  spec.deadline,
-		enqueued:  now,
-		board:     p.env.Board,
-		pipe:      p,
-		done:      make(chan struct{}),
-		cancelCh:  make(chan struct{}),
-		state:     JobQueued,
-		submitted: now,
+		Owner:       spec.owner,
+		Graph:       spec.graph,
+		K:           spec.k,
+		Labels:      spec.labels,
+		priority:    spec.priority,
+		shareWeight: spec.shareWeight,
+		deadline:    spec.deadline,
+		enqueued:    now,
+		board:       p.env.Board,
+		pipe:        p,
+		done:        make(chan struct{}),
+		cancelCh:    make(chan struct{}),
+		state:       JobQueued,
+		submitted:   now,
 	}
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		p.admit.unreserveQueued(spec.owner)
 		return nil, ErrPipelineClosed
 	}
 	if spec.home < 0 {
@@ -650,16 +751,20 @@ func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
 		// is already terminal.
 		if job.canceled() {
 			p.releaseSlot()
+			p.admit.unreserveQueued(spec.owner)
 			return nil, ErrJobCanceled
 		}
 	case <-ctx.Done():
 		job.terminalize(JobFailed, ctx.Err(), nil)
+		p.admit.unreserveQueued(spec.owner)
 		return nil, ctx.Err()
 	case <-p.ctx.Done():
 		job.terminalize(JobFailed, ErrPipelineClosed, nil)
+		p.admit.unreserveQueued(spec.owner)
 		return nil, ErrPipelineClosed
 	case <-job.cancelCh:
 		// Cancel won while we waited for capacity; the job is terminal.
+		p.admit.unreserveQueued(spec.owner)
 		return nil, ErrJobCanceled
 	}
 	p.admit.push(job)
@@ -671,10 +776,7 @@ func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
 		job.expiry = time.AfterFunc(time.Until(job.deadline), job.expireQueued)
 		job.mu.Unlock()
 	}
-	select {
-	case p.notify <- struct{}{}:
-	default:
-	}
+	p.wake()
 	return job, nil
 }
 
@@ -744,6 +846,11 @@ func (p *pipeline) process(job *Job) {
 	// Canceled and deadline-expired queued jobs are dropped here, before
 	// any scheduling work happens.
 	if !job.claimForScheduling() {
+		// The job may have been terminal before the pop even charged it
+		// (a cancel that landed between submit's check and push): its
+		// terminalize ran too early to see the charge, so return it
+		// explicitly — jobReleased is idempotent.
+		p.jobReleased(job)
 		p.gauge()
 		return
 	}
@@ -769,13 +876,37 @@ func (p *pipeline) process(job *Job) {
 	}
 	job.setTable(table)
 
-	// Dispatch: the worker waits for an execution slot before handing
-	// the job to its execution goroutine. This is deliberate
-	// backpressure — with the engine saturated, workers park here, the
-	// admission queue fills, and Submit blocks — so the total number of
-	// admitted-but-unfinished jobs stays bounded by QueueDepth +
-	// SchedulerWorkers + MaxConcurrentRuns. A job waiting for a slot
-	// remains in the scheduling state (it is still in a worker's hands).
+	// Held-hosts quota: charge the placement's distinct hosts against
+	// the owner. An owner at its cap does not hold the worker hostage —
+	// the job parks in its own goroutine (other owners keep dispatching
+	// through this worker) until enough of the owner's hosts free.
+	needed := distinctHosts(table)
+	if !p.admit.tryChargeHosts(job, needed) {
+		// Gate the owner before parking: pop skips owners with a parked
+		// job, so park goroutines per owner are bounded by the worker
+		// count (concurrent workers may each park one job they popped
+		// before the gate landed) and the rest of the owner's backlog
+		// waits in the queue — scheduled against fresh resource state
+		// when its turn comes.
+		p.admit.setParked(job, true)
+		go p.parkForHosts(job, table, needed)
+		return
+	}
+	job.noteHostsHeld(len(needed))
+	p.dispatch(job, table)
+}
+
+// dispatch hands a scheduled job to its execution goroutine once a run
+// slot frees. Called on a scheduler worker in the common case — that
+// is deliberate backpressure: with the engine saturated, workers park
+// here, the admission queue fills, and Submit blocks — so the total
+// number of admitted-but-unfinished jobs stays bounded by QueueDepth +
+// SchedulerWorkers + MaxConcurrentRuns, plus hosts-parked jobs (the
+// pop-side parked gate bounds those per owner by the worker count).
+// A job waiting for a slot
+// remains in the scheduling state (it is still in a worker's hands).
+// Jobs resuming from a hosts-quota park call this off-worker instead.
+func (p *pipeline) dispatch(job *Job, table *core.AllocationTable) {
 	select {
 	case p.runSem <- struct{}{}:
 	case <-job.cancelCh:
@@ -788,6 +919,104 @@ func (p *pipeline) process(job *Job) {
 		return
 	}
 	go p.execute(job, table)
+}
+
+// parkForHosts waits until the job's owner frees enough held hosts for
+// this placement, then dispatches it. The park lives off-worker so a
+// capped owner's excess never blocks other owners' dispatch (and is
+// bounded per owner by the pop-side parked gate); it ends early
+// on cancellation, deadline expiry (WithDeadline bounds the whole
+// lifetime, parked time included), or pipeline shutdown. Terminal
+// exits leave the parked gate to release(); the success path clears it
+// and wakes a worker, since the owner just became poppable again.
+func (p *pipeline) parkForHosts(job *Job, table *core.AllocationTable, needed []string) {
+	var deadlineCh <-chan time.Time
+	if dl, ok := job.Deadline(); ok {
+		timer := time.NewTimer(time.Until(dl))
+		defer timer.Stop()
+		deadlineCh = timer.C
+	}
+	for {
+		// Fetch the broadcast channel before re-checking, so a release
+		// landing between the check and the wait still wakes us.
+		changed := p.admit.usageChanged()
+		if p.admit.tryChargeHosts(job, needed) {
+			p.admit.setParked(job, false)
+			p.wake()
+			job.noteHostsHeld(len(needed))
+			p.dispatch(job, table)
+			return
+		}
+		select {
+		case <-changed:
+		case <-deadlineCh:
+			job.terminalize(JobFailed, ErrJobDeadlineExceeded, nil)
+			p.gauge()
+			return
+		case <-job.cancelCh:
+			job.terminalize(JobCanceled, ErrJobCanceled, nil)
+			p.gauge()
+			return
+		case <-p.ctx.Done():
+			job.fail(ErrPipelineClosed)
+			p.gauge()
+			return
+		}
+	}
+}
+
+// distinctHosts lists the distinct hosts a placement table uses — the
+// unit the held-hosts quota charges.
+func distinctHosts(table *core.AllocationTable) []string {
+	seen := make(map[string]struct{})
+	var hosts []string
+	for _, e := range table.Entries {
+		for _, h := range e.Hosts {
+			if _, ok := seen[h]; !ok {
+				seen[h] = struct{}{}
+				hosts = append(hosts, h)
+			}
+		}
+	}
+	return hosts
+}
+
+// noteHostsHeld mirrors a successful host charge into the job's status
+// view and publishes it, so /v1/jobs and owner counters show the held
+// hosts live. The mirror only rises — concurrent reschedule events may
+// report their ledger counts out of order, and the count never shrinks
+// until terminalize zeroes it.
+func (j *Job) noteHostsHeld(n int) {
+	j.mu.Lock()
+	if j.state == JobDone || j.state == JobFailed || j.state == JobCanceled {
+		// Lost a race with terminalize: the charge was already released.
+		j.mu.Unlock()
+		return
+	}
+	if n <= j.hostsHeld {
+		j.mu.Unlock()
+		return
+	}
+	j.hostsHeld = n
+	j.mu.Unlock()
+	j.publish()
+}
+
+// wake hands one wakeup token to an idle scheduler worker.
+func (p *pipeline) wake() {
+	select {
+	case p.notify <- struct{}{}:
+	default:
+	}
+}
+
+// jobReleased returns a terminal job's quota charges and, when
+// anything freed, wakes an idle worker — a parked owner may have just
+// dropped below its in-flight cap.
+func (p *pipeline) jobReleased(j *Job) {
+	if p.admit.release(j) {
+		p.wake()
+	}
 }
 
 // execute runs the job's task graph under its own cancelable (and
@@ -869,6 +1098,9 @@ func (p *pipeline) stop() {
 		for job := p.admit.pop(); job != nil; job = p.admit.pop() {
 			p.releaseSlot()
 			job.terminalize(JobFailed, ErrPipelineClosed, nil)
+			// Already-terminal jobs (canceled pre-push) missed the pop
+			// charge in their own terminalize; idempotent re-release.
+			p.jobReleased(job)
 		}
 		if p.allSettled() {
 			return
@@ -954,12 +1186,13 @@ func (env *Environment) Submit(ctx context.Context, g *afg.Graph, opts ...Submit
 		opt(&o)
 	}
 	spec := submitSpec{
-		owner:    o.owner,
-		graph:    g,
-		k:        o.maxHosts,
-		home:     o.home,
-		deadline: o.deadline,
-		labels:   o.labels,
+		owner:       o.owner,
+		graph:       g,
+		k:           o.maxHosts,
+		home:        o.home,
+		shareWeight: 1,
+		deadline:    o.deadline,
+		labels:      o.labels,
 	}
 	if o.owner != "" {
 		if spec.home < 0 {
@@ -967,14 +1200,29 @@ func (env *Environment) Submit(ctx context.Context, g *afg.Graph, opts ...Submit
 		}
 		spec.k = env.ClampK(o.owner, spec.k)
 	}
+	var acctPriority *int
+	if o.owner != "" {
+		if acct, err := env.Sites[0].Repo.Users.Lookup(o.owner); err == nil {
+			acctPriority = &acct.Priority
+		}
+	}
 	switch {
 	case o.priority != nil:
 		spec.priority = *o.priority
-	case o.owner != "":
-		if acct, err := env.Sites[0].Repo.Users.Lookup(o.owner); err == nil {
-			spec.priority = acct.Priority
-		}
+	case acctPriority != nil:
+		spec.priority = *acctPriority
 	}
+	// Fair-share weight: WithShareWeight wins, else the owner's
+	// user-account priority (the paper's per-user resource entitlement),
+	// else 1; always saturated into [1, MaxShareWeight] so every owner
+	// progresses and no caller can buy an unbounded share.
+	switch {
+	case o.shareWeight != nil:
+		spec.shareWeight = *o.shareWeight
+	case acctPriority != nil:
+		spec.shareWeight = *acctPriority
+	}
+	spec.shareWeight = clampShareWeight(spec.shareWeight)
 	return env.pipe.submit(ctx, spec)
 }
 
@@ -998,16 +1246,60 @@ func (env *Environment) Jobs() []services.JobStatus {
 // ListJobs returns live job statuses filtered by owner and state (empty
 // strings match everything), in stable (submission time, then ID) order.
 // Unlike the board's snapshots, queued jobs carry their current
-// admission-queue position.
+// admission-queue position — computed for the whole backlog in one
+// fair-queuing replay, not one per job.
 func (env *Environment) ListJobs(owner, state string) []services.JobStatus {
 	jobs := env.pipe.snapshot()
+	var positions map[string]int
+	if state == "" || state == services.JobStateQueued {
+		// Only filters that can list queued jobs pay for the replay.
+		positions = env.pipe.admit.positions()
+	}
 	out := make([]services.JobStatus, 0, len(jobs))
 	for _, j := range jobs {
-		if s := j.Status(); s.Matches(owner, state) {
+		s := j.statusSnapshot()
+		if s.State == services.JobStateQueued {
+			s.QueuePosition = positions[s.ID]
+		}
+		if s.Matches(owner, state) {
 			out = append(out, s)
 		}
 	}
 	services.SortJobs(out)
+	return out
+}
+
+// Owners reports every known owner's fair-share weight, configured
+// quota limits, and live usage counters. Usage is derived from the job
+// board — the same ground truth /v1/jobs serves — so the two surfaces
+// cannot disagree; weights come from the admission queue's fair-share
+// state and limits from the pipeline configuration. Owners are sorted
+// by name.
+func (env *Environment) Owners() []services.OwnerStatus {
+	usages := env.Board.OwnerUsages()
+	weights := env.pipe.admit.ownerWeights()
+	quota := env.pipe.cfg.Quota
+	names := make([]string, 0, len(usages)+len(weights))
+	for o := range usages {
+		names = append(names, o)
+	}
+	for o := range weights {
+		if _, ok := usages[o]; !ok {
+			names = append(names, o)
+		}
+	}
+	sort.Strings(names)
+	out := make([]services.OwnerStatus, 0, len(names))
+	for _, o := range names {
+		out = append(out, services.OwnerStatus{
+			Owner:       o,
+			Weight:      clampShareWeight(weights[o]),
+			MaxQueued:   quota.MaxQueuedPerOwner,
+			MaxInFlight: quota.MaxInFlightPerOwner,
+			MaxHosts:    quota.MaxHostsPerOwner,
+			Usage:       usages[o],
+		})
+	}
 	return out
 }
 

@@ -8,10 +8,15 @@
 // runs a concurrent submission pipeline. Submit admits an application
 // flow graph — configured with functional options (WithOwner,
 // WithPriority, WithDeadline, WithHomeSite, WithMaxHosts, WithLabels) —
-// into a bounded priority queue and returns a *Job handle immediately.
-// Jobs dequeue by effective priority (the owner's user-account priority
-// unless overridden, aged upward while the job waits so nothing
-// starves); a pool of scheduler workers runs core.Scheduler rounds
+// into a bounded fair-share priority queue and returns a *Job handle
+// immediately. Within one owner, jobs dequeue by effective priority
+// (the owner's user-account priority unless overridden, aged upward
+// while the job waits so nothing starves); across owners the queue
+// drains by weighted fair queuing (WithShareWeight, defaulting from
+// the account priority) with per-owner quotas on queued jobs,
+// in-flight jobs, and held hosts (PipelineConfig.Quota), so no single
+// user monopolizes the shared testbed. A pool of scheduler workers
+// runs core.Scheduler rounds
 // concurrently — each job scheduled from its home site (round-robin for
 // anonymous submissions, the submitting site for owned ones), so rounds
 // spread across sites — and a bounded dispatch path executes
@@ -514,14 +519,22 @@ func (env *Environment) EditorServer(execute bool, k int) *editor.Server {
 			if o.Priority != nil {
 				opts = append(opts, WithPriority(*o.Priority))
 			}
+			if o.ShareWeight != nil {
+				opts = append(opts, WithShareWeight(*o.ShareWeight))
+			}
 			if o.Deadline > 0 {
 				opts = append(opts, WithDeadline(time.Now().Add(o.Deadline)))
 			}
 			job, err := env.Submit(ctx, g, opts...)
 			if err != nil {
-				// Failures the request itself caused surface as 400s.
-				if errors.Is(err, ErrJobDeadlineExceeded) || errors.Is(err, ErrJobCanceled) ||
-					errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				switch {
+				case errors.Is(err, ErrQuotaExceeded):
+					// Per-owner admission quota: a 429, not a 400 — the
+					// request was fine, the owner must back off.
+					err = fmt.Errorf("%w: %v", editor.ErrQuotaExceeded, err)
+				case errors.Is(err, ErrJobDeadlineExceeded), errors.Is(err, ErrJobCanceled),
+					errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+					// Failures the request itself caused surface as 400s.
 					err = fmt.Errorf("%w: %v", editor.ErrBadSubmission, err)
 				}
 				return services.JobStatus{}, err
