@@ -119,6 +119,16 @@ type admitQueue struct {
 	// changed is the usage broadcast: closed and replaced whenever
 	// in-flight or held-host usage frees, waking parked dispatches.
 	changed chan struct{}
+	// gen counts the mutations that can change the arbitration replay's
+	// output — push (new job, possible weight change), pop (backlog and
+	// virtual clocks move), remove (backlog shrinks). posCache memoizes
+	// the last full position replay and is valid while posGen == gen, so
+	// a burst of Status()/ListJobs calls over an unchanged queue pays
+	// for one replay, not one per call (the PR 3 generation-validated
+	// cache pattern).
+	gen      uint64
+	posGen   uint64
+	posCache map[string]int
 }
 
 // ownerShare is one owner's sub-queue plus its fair-share and quota
@@ -220,6 +230,7 @@ func (q *admitQueue) push(j *Job) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.seq++
+	q.gen++
 	os := q.owner(j.Owner)
 	if j.shareWeight >= 1 {
 		os.weight = clampShareWeight(j.shareWeight)
@@ -319,6 +330,7 @@ func (q *admitQueue) pop() *Job {
 	if os == nil {
 		return nil
 	}
+	q.gen++
 	j := os.removeAt(0).job
 	os.reserved--
 	os.inFlight++
@@ -334,6 +346,7 @@ func (q *admitQueue) remove(id string) bool {
 	for _, os := range q.owners {
 		for i := range os.jobs {
 			if os.jobs[i].job.ID == id {
+				q.gen++
 				os.removeAt(i)
 				os.reserved--
 				return true
@@ -432,9 +445,10 @@ func (q *admitQueue) usageChanged() <-chan struct{} {
 }
 
 // position returns the 1-based dequeue position of a queued job (1 =
-// next to pop), or 0 when the job is not queued — the same arbitration
-// replay positions() serves (so the single-job and listing surfaces
-// can never disagree), stopped early once the target is placed.
+// next to pop), or 0 when the job is not queued — served from the same
+// cached arbitration replay positions() serves, so the single-job and
+// listing surfaces can never disagree and repeated polls of an
+// unchanged queue cost O(backlog) membership scan, not a replay each.
 func (q *admitQueue) position(id string) int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -456,16 +470,27 @@ func (q *admitQueue) position(id string) int {
 	if !queued {
 		return 0
 	}
-	return q.replayPositions(id)[id]
+	return q.positionsLocked()[id]
 }
 
 // positions returns the 1-based dequeue position of every queued job
 // in one arbitration replay, O(backlog·owners + backlog·log backlog)
-// for the whole backlog.
+// when the queue changed since the last call and O(1) otherwise. The
+// returned map is shared with the cache: callers read, never mutate.
 func (q *admitQueue) positions() map[string]int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.replayPositions("")
+	return q.positionsLocked()
+}
+
+// positionsLocked returns the full position replay, recomputing only
+// when a push/pop/remove invalidated the cached one. Caller holds q.mu.
+func (q *admitQueue) positionsLocked() map[string]int {
+	if q.posCache == nil || q.posGen != q.gen {
+		q.posCache = q.replayPositions("")
+		q.posGen = q.gen
+	}
+	return q.posCache
 }
 
 // replayPositions replays the weighted-fair arbitration over the

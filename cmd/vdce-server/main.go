@@ -8,9 +8,12 @@
 // -quota-* flags add per-owner caps (queued submissions are rejected
 // with 429 over the cap, in-flight and held-host excess parks). The
 // versioned job-control API (GET /v1/jobs with owner/state filters and
-// pagination, GET /v1/jobs/{id}, DELETE /v1/jobs/{id} to cancel,
+// cursor pagination, GET /v1/jobs/{id}, DELETE /v1/jobs/{id} to cancel,
 // GET /v1/owners for per-owner weights/quotas/usage) serves status and
-// control; the legacy GET /jobs dump remains.
+// control; GET /v1/jobs/{id}/events and GET /v1/events stream job
+// transitions as Server-Sent Events so clients subscribe instead of
+// polling; -rate-rps adds a per-owner API request rate limit (429 with
+// Retry-After over it). The legacy GET /jobs dump remains.
 //
 //	vdce-server -hosts 8 -http 127.0.0.1:8470 -workers 4 -parallel 8
 //	vdce-server -hosts 8 -quota-queued 32 -quota-inflight 4
@@ -86,6 +89,9 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 	quotaQueued := fs.Int("quota-queued", 0, "max queued jobs per owner (0 = unlimited)")
 	quotaInflight := fs.Int("quota-inflight", 0, "max scheduling+running jobs per owner (0 = unlimited; excess parks in the queue — pair with -quota-queued so a throttled owner's backlog cannot fill the shared queue)")
 	quotaHosts := fs.Int("quota-hosts", 0, "max concurrently held hosts per owner (0 = unlimited; excess parks before execution)")
+	rateRPS := fs.Float64("rate-rps", 0, "per-owner API request rate limit in requests/second (0 = unlimited; over-limit requests get 429 with Retry-After)")
+	rateBurst := fs.Int("rate-burst", 0, "per-owner API request burst capacity (0 = ceil of -rate-rps)")
+	eventBuffer := fs.Int("event-buffer", 0, "job-event replay ring size for SSE Last-Event-ID resume (0 = default 4096)")
 	chaosName := fs.String("chaos", "", "play a fault scenario against the live testbed: kill-quarter|rolling-restart|site-partition")
 	chaosSpan := fs.Duration("chaos-span", 30*time.Second, "duration the -chaos scenario is spread over")
 	if err := fs.Parse(args); err != nil {
@@ -113,6 +119,11 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 				MaxInFlightPerOwner: *quotaInflight,
 				MaxHostsPerOwner:    *quotaHosts,
 			},
+			APIRate: jobsapi.RateLimitConfig{
+				RequestsPerSecond: *rateRPS,
+				Burst:             *rateBurst,
+			},
+			EventBuffer: *eventBuffer,
 		},
 	})
 	if err != nil {
@@ -154,6 +165,8 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 	jobsV1 := env.JobsHandler(jobsapi.Config{Authenticate: editorSrv.SessionUser})
 	mux.Handle("GET /v1/jobs", jobsV1)
 	mux.Handle("GET /v1/jobs/{id}", jobsV1)
+	mux.Handle("GET /v1/jobs/{id}/events", jobsV1)
+	mux.Handle("GET /v1/events", jobsV1)
 	mux.Handle("DELETE /v1/jobs/{id}", jobsV1)
 	mux.Handle("GET /v1/owners", jobsV1)
 	// Legacy job lifecycle monitoring: every submission's state, straight
@@ -192,6 +205,7 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 	fmt.Fprintf(out, "  application editor: http://%s (user_k / vdce)\n", addr)
 	fmt.Fprintf(out, "  jobs endpoint     : http://%s/jobs\n", addr)
 	fmt.Fprintf(out, "  job-control API   : http://%s/v1/jobs\n", addr)
+	fmt.Fprintf(out, "  event stream      : http://%s/v1/events (SSE; per-job: /v1/jobs/{id}/events)\n", addr)
 	fmt.Fprintf(out, "  owners API        : http://%s/v1/owners\n", addr)
 	fmt.Fprintf(out, "  hosts:\n")
 	for _, h := range env.TB.Sites[0].Hosts {

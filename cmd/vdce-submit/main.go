@@ -6,12 +6,16 @@
 //
 // Submissions go through the versioned job-control API
 // (POST /v1/apps/{id}/submit with -priority, -deadline, -maxhosts, and
-// -weight for the owner's fair-share weight), then each job is polled
-// on GET /v1/jobs/{id}: queue position and state transitions are
-// reported as they happen, and the command exits non-zero if any
-// submitted job is rejected, fails, or is canceled. A per-owner quota
-// rejection (HTTP 429) is rendered distinctly — the server is healthy,
-// the owner is over its cap.
+// -weight for the owner's fair-share weight), then each job is watched
+// by subscribing to its Server-Sent Events stream
+// (GET /v1/jobs/{id}/events): queue position and state transitions are
+// reported as they arrive — zero status polls — and the command exits
+// non-zero if any submitted job is rejected, fails, or is canceled. A
+// dropped stream resumes from the last event cursor (Last-Event-ID);
+// -poll forces the legacy GET /v1/jobs/{id} polling watcher, which is
+// also the automatic fallback against servers without the streaming
+// endpoint. A per-owner quota rejection (HTTP 429) is rendered
+// distinctly — the server is healthy, the owner is over its cap.
 // Servers without the job pipeline (schedule-only) fall back to the
 // legacy synchronous submit.
 //
@@ -21,6 +25,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"errors"
@@ -30,6 +35,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -61,6 +68,7 @@ func run(args []string, out io.Writer) error {
 	deadline := fs.Duration("deadline", 0, "job deadline from submission (0 = none)")
 	maxHosts := fs.Int("maxhosts", -1, "neighbor-site count k (-1 = server default)")
 	weight := fs.Int("weight", 0, "owner fair-share weight (0 = the account's default)")
+	poll := fs.Bool("poll", false, "watch jobs by polling GET /v1/jobs/{id} instead of subscribing to the event stream")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -112,7 +120,7 @@ func run(args []string, out io.Writer) error {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i] = outcome{idx: i, err: submitOne(*server, token, graph, body, say)}
+			results[i] = outcome{idx: i, err: submitOne(*server, token, graph, body, *poll, say)}
 		}(i)
 	}
 	wg.Wait()
@@ -131,7 +139,7 @@ func run(args []string, out io.Writer) error {
 
 // submitOne imports the graph and submits it once, preferring the
 // versioned async endpoint and watching the job to a terminal state.
-func submitOne(server, token string, graph *afg.Graph, body map[string]any, say func(string, ...any)) error {
+func submitOne(server, token string, graph *afg.Graph, body map[string]any, poll bool, say func(string, ...any)) error {
 	appID, err := importGraph(server, token, graph)
 	if err != nil {
 		return err
@@ -150,7 +158,10 @@ func submitOne(server, token string, graph *afg.Graph, body map[string]any, say 
 		}
 		prio, _ := job["priority"].(float64)
 		say("submitted %q as %s: job %s (priority %d)\n", graph.Name, appID, id, int(prio))
-		return watchJob(server, token, id, say)
+		if poll {
+			return watchJob(server, token, id, say)
+		}
+		return watchJobEvents(server, token, id, say)
 	case http.StatusTooManyRequests:
 		// Per-owner quota rejection: render it distinctly from job
 		// failures — the server is healthy, the owner is over its cap
@@ -179,6 +190,149 @@ func submitOne(server, token string, graph *afg.Graph, body map[string]any, say 
 		}
 		return fmt.Errorf("POST /v1/apps/%s/submit: %d %v", appID, code, v1)
 	}
+}
+
+// watchJobEvents subscribes to the job's Server-Sent Events stream
+// (GET /v1/jobs/{id}/events) and reports queue-position and state
+// transitions as the server pushes them — no status polling at all. A
+// dropped connection reconnects with Last-Event-ID so no transition is
+// lost; servers that do not stream (pre-events, schedule-only) drop the
+// watcher back to the polling path.
+func watchJobEvents(server, token, id string, say func(string, ...any)) error {
+	lastState, lastPos := "", -1
+	var cursor uint64
+	connected := false
+	for {
+		req, err := http.NewRequest("GET", server+"/v1/jobs/"+id+"/events", nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Authorization", "Bearer "+token)
+		req.Header.Set("Accept", "text/event-stream")
+		if cursor > 0 {
+			req.Header.Set("Last-Event-ID", strconv.FormatUint(cursor, 10))
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			if connected {
+				// The stream worked before; treat this as a transient drop.
+				time.Sleep(200 * time.Millisecond)
+				continue
+			}
+			return err
+		}
+		streaming := strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream")
+		switch {
+		case resp.StatusCode == http.StatusOK && streaming:
+			// Proceed below.
+		case resp.StatusCode == http.StatusNotFound && connected:
+			// Same bounded-history eviction race the polling watcher
+			// tolerates: the job existed and ran.
+			resp.Body.Close()
+			say("  %s evicted from the server's job history before its final state was observed\n", id)
+			return nil
+		case resp.StatusCode == http.StatusNotFound,
+			resp.StatusCode == http.StatusMethodNotAllowed,
+			resp.StatusCode == http.StatusServiceUnavailable,
+			resp.StatusCode == http.StatusOK && !streaming:
+			// This server does not stream job events; poll instead.
+			resp.Body.Close()
+			return watchJob(server, token, id, say)
+		default:
+			var body map[string]any
+			_ = json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			return fmt.Errorf("GET /v1/jobs/%s/events: %d %v", id, resp.StatusCode, body)
+		}
+		connected = true
+		done, jobErr := drainJobStream(resp.Body, id, &cursor, &lastState, &lastPos, say)
+		resp.Body.Close()
+		if done {
+			return jobErr
+		}
+		// Stream ended without a terminal event (server restart, slow-
+		// consumer eviction): reconnect and resume after the last cursor.
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// drainJobStream consumes SSE frames until the stream ends, reporting
+// transitions. It returns done=true once a terminal state was observed
+// (jobErr non-nil for failed/canceled) and done=false when the stream
+// dropped first and the caller should reconnect.
+func drainJobStream(r io.Reader, id string, cursor *uint64, lastState *string, lastPos *int, say func(string, ...any)) (done bool, jobErr error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var data bytes.Buffer
+	var typ string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			// Blank line dispatches the accumulated frame.
+			if data.Len() > 0 {
+				if done, jobErr = handleJobEvent(typ, data.Bytes(), id, cursor, lastState, lastPos, say); done {
+					return done, jobErr
+				}
+			}
+			data.Reset()
+			typ = ""
+		case strings.HasPrefix(line, "id:"):
+			if v, err := strconv.ParseUint(strings.TrimSpace(line[3:]), 10, 64); err == nil {
+				*cursor = v
+			}
+		case strings.HasPrefix(line, "event:"):
+			typ = strings.TrimSpace(line[6:])
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimSpace(line[5:]))
+		case strings.HasPrefix(line, ":"):
+			// Comment (reset/eviction notices): diagnostics only.
+		}
+	}
+	return false, nil
+}
+
+// handleJobEvent reports one stream event's transition, mirroring the
+// polling watcher's output, and spots terminal states.
+func handleJobEvent(typ string, data []byte, id string, cursor *uint64, lastState *string, lastPos *int, say func(string, ...any)) (bool, error) {
+	var ev struct {
+		Cursor uint64 `json:"cursor"`
+		Job    struct {
+			State         string `json:"state"`
+			QueuePosition int    `json:"queue_position"`
+			Reschedules   int    `json:"reschedules"`
+			Error         string `json:"error"`
+		} `json:"job"`
+	}
+	if err := json.Unmarshal(data, &ev); err != nil {
+		return false, nil // tolerate unknown frames
+	}
+	if ev.Cursor > *cursor {
+		*cursor = ev.Cursor
+	}
+	state, pos := ev.Job.State, ev.Job.QueuePosition
+	switch typ {
+	case "rescheduled":
+		say("  %s recovery: task rescheduled mid-run (%d so far)\n", id, ev.Job.Reschedules)
+	case "host-failure":
+		say("  %s recovery: a host running this job failed\n", id)
+	}
+	if state != *lastState || pos != *lastPos {
+		switch {
+		case state == services.JobStateQueued && pos > 0:
+			say("  %s %s (queue position %d)\n", id, state, pos)
+		default:
+			say("  %s %s\n", id, state)
+		}
+		*lastState, *lastPos = state, pos
+	}
+	switch state {
+	case services.JobStateDone:
+		return true, nil
+	case services.JobStateFailed, services.JobStateCanceled:
+		return true, fmt.Errorf("job %s ended %s: %s", id, state, ev.Job.Error)
+	}
+	return false, nil
 }
 
 // watchJob polls GET /v1/jobs/{id}, reporting queue-position and state

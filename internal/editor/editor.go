@@ -129,6 +129,10 @@ func (s *Server) Handler() http.Handler {
 	if s.Jobs != nil {
 		mux.Handle("/v1/jobs", s.Jobs)
 		mux.Handle("/v1/jobs/{id}", s.Jobs)
+		// {id} matches exactly one path segment, so the streaming
+		// endpoints need their own mounts.
+		mux.Handle("GET /v1/jobs/{id}/events", s.Jobs)
+		mux.Handle("GET /v1/events", s.Jobs)
 		mux.Handle("/v1/owners", s.Jobs)
 	}
 	return mux

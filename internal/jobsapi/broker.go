@@ -1,0 +1,212 @@
+package jobsapi
+
+import (
+	"sync"
+
+	"vdce/internal/services"
+)
+
+// Stream event types. State transitions come from the job board's
+// lifecycle publications; reschedules and host failures come from the
+// execution engine's recovery event sink.
+const (
+	// EventState: the job moved through its lifecycle (queued,
+	// scheduling, running, done, failed, canceled) or refreshed its
+	// status (queue position, held hosts).
+	EventState = "state"
+	// EventRescheduled: the engine moved one of the job's tasks to a
+	// replacement placement mid-run.
+	EventRescheduled = "rescheduled"
+	// EventHostFailure: one of the job's hosts failed or was confirmed
+	// dead, forcing recovery.
+	EventHostFailure = "host-failure"
+	// EventSnapshot: a synthesized catch-up event carrying a job's
+	// current status — sent at subscribe time so a client that joins (or
+	// rejoins past the replay ring) always converges on present state.
+	EventSnapshot = "snapshot"
+)
+
+// StreamEvent is one notification on the job event stream.
+type StreamEvent struct {
+	// Cursor is the event's position in the site-wide stream: strictly
+	// monotonic, dense per broker. Clients resume after a disconnect by
+	// sending the last cursor they processed as Last-Event-ID (or the
+	// after query parameter); the stream then continues with the first
+	// event they have not seen.
+	Cursor uint64 `json:"cursor"`
+	// Type is one of EventState, EventRescheduled, EventHostFailure, or
+	// EventSnapshot.
+	Type string `json:"type"`
+	// Job is the job's full status at the time of the event.
+	Job services.JobStatus `json:"job"`
+}
+
+// DefaultEventBuffer sizes the broker's replay ring and each
+// subscriber's delivery buffer when the caller passes 0.
+const DefaultEventBuffer = 4096
+
+// Broker is the bounded fan-out hub between the job pipeline and the
+// streaming API: publishers (job lifecycle transitions, the execution
+// engine's recovery sink) push events in, and any number of HTTP
+// subscribers receive them with monotonic cursors.
+//
+// Both sides are bounded so the board can never be blocked by a slow
+// reader: Publish never waits — a subscriber whose delivery buffer is
+// full is evicted (its channel closes) rather than backpressuring the
+// pipeline — and a replay ring of the most recent events serves
+// Last-Event-ID reconnects without holding per-client state.
+type Broker struct {
+	mu   sync.Mutex
+	next uint64 // cursor of the next event to publish (first is 1)
+	// ring holds the most recent events for reconnect replay; len(ring)
+	// is the bound, start indexes the oldest retained event.
+	ring  []StreamEvent
+	start int
+	count int
+	subs  map[*Subscriber]struct{}
+}
+
+// NewBroker returns a broker retaining the last buffer events for
+// reconnect replay (0 means DefaultEventBuffer).
+func NewBroker(buffer int) *Broker {
+	if buffer <= 0 {
+		buffer = DefaultEventBuffer
+	}
+	return &Broker{
+		ring: make([]StreamEvent, buffer),
+		subs: make(map[*Subscriber]struct{}),
+	}
+}
+
+// Subscriber is one live event consumer. Receive from C; a closed C
+// means the subscription ended (broker shut down, or this consumer fell
+// behind and was evicted — check Evicted). Always call Close when done.
+type Subscriber struct {
+	// C delivers matched events in cursor order.
+	C <-chan StreamEvent
+
+	broker  *Broker
+	ch      chan StreamEvent
+	match   func(StreamEvent) bool
+	evicted bool
+	closed  bool
+}
+
+// Evicted reports whether the broker dropped this subscriber because
+// its delivery buffer overflowed (the slow-consumer policy: the board
+// is never blocked; the reader must resubscribe with its last cursor).
+func (s *Subscriber) Evicted() bool {
+	s.broker.mu.Lock()
+	defer s.broker.mu.Unlock()
+	return s.evicted
+}
+
+// Close detaches the subscriber. Idempotent; safe while the broker
+// publishes concurrently.
+func (s *Subscriber) Close() {
+	s.broker.mu.Lock()
+	defer s.broker.mu.Unlock()
+	s.broker.dropLocked(s)
+}
+
+// dropLocked removes a subscriber and closes its channel exactly once.
+// Caller holds b.mu — which is what makes close safe: every send to
+// s.ch also happens under b.mu, so no send can race the close.
+func (b *Broker) dropLocked(s *Subscriber) {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	delete(b.subs, s)
+	close(s.ch)
+}
+
+// Publish assigns the next cursor to a job event, retains it for
+// replay, and fans it out to every matching subscriber. It never
+// blocks: a subscriber without buffer space is evicted instead.
+func (b *Broker) Publish(typ string, job services.JobStatus) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.next++
+	ev := StreamEvent{Cursor: b.next, Type: typ, Job: job}
+	// Retain in the ring, overwriting the oldest once full.
+	i := (b.start + b.count) % len(b.ring)
+	b.ring[i] = ev
+	if b.count < len(b.ring) {
+		b.count++
+	} else {
+		b.start = (b.start + 1) % len(b.ring)
+	}
+	for s := range b.subs {
+		if s.match != nil && !s.match(ev) {
+			continue
+		}
+		select {
+		case s.ch <- ev:
+		default:
+			// Slow consumer: drop it rather than block the pipeline. The
+			// closed channel tells the reader to resubscribe from its last
+			// processed cursor (the replay ring bridges the gap).
+			s.evicted = true
+			b.dropLocked(s)
+		}
+	}
+}
+
+// Cursor returns the cursor of the most recently published event (0
+// when nothing has been published).
+func (b *Broker) Cursor() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.next
+}
+
+// Subscribe registers a consumer for events matching match (nil matches
+// everything), resuming after cursor `after` (0 subscribes to new
+// events only). Replayed events — retained events with cursor > after
+// that match — are returned in order; events published later arrive on
+// the subscriber's channel. The replay capture and the registration
+// happen atomically, so no event is ever both missed and unreplayed.
+//
+// missed reports whether events between `after` and the oldest retained
+// event were already evicted from the replay ring — the subscriber
+// cannot be given a gapless resume and should re-synchronize from
+// current state (the SSE handlers send a snapshot event).
+func (b *Broker) Subscribe(after uint64, buffer int, match func(StreamEvent) bool) (sub *Subscriber, replay []StreamEvent, missed bool) {
+	if buffer <= 0 {
+		buffer = DefaultEventBuffer
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if after > 0 {
+		if b.count > 0 && after < b.ring[b.start].Cursor-1 {
+			missed = true
+		}
+		for i := 0; i < b.count; i++ {
+			ev := b.ring[(b.start+i)%len(b.ring)]
+			if ev.Cursor <= after {
+				continue
+			}
+			if match != nil && !match(ev) {
+				continue
+			}
+			replay = append(replay, ev)
+		}
+	}
+	s := &Subscriber{
+		broker: b,
+		ch:     make(chan StreamEvent, buffer),
+		match:  match,
+	}
+	s.C = s.ch
+	b.subs[s] = struct{}{}
+	return s, replay, missed
+}
+
+// Subscribers reports how many consumers are attached (monitoring and
+// tests).
+func (b *Broker) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}

@@ -1,0 +1,145 @@
+package jobsapi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vdce/internal/services"
+)
+
+// jst builds a minimal job status for broker tests.
+func jst(id, owner, state string) services.JobStatus {
+	return services.JobStatus{ID: id, Owner: owner, State: state, SubmittedAt: time.Unix(1000, 0)}
+}
+
+func TestBrokerDeliversInCursorOrder(t *testing.T) {
+	b := NewBroker(16)
+	sub, replay, missed := b.Subscribe(0, 16, nil)
+	defer sub.Close()
+	if len(replay) != 0 || missed {
+		t.Fatalf("fresh subscribe: replay=%d missed=%v, want none", len(replay), missed)
+	}
+	for i := 1; i <= 5; i++ {
+		b.Publish(EventState, jst(fmt.Sprintf("job-%d", i), "ana", services.JobStateQueued))
+	}
+	var last uint64
+	for i := 1; i <= 5; i++ {
+		ev := <-sub.C
+		if ev.Cursor <= last {
+			t.Fatalf("cursor not strictly monotonic: %d after %d", ev.Cursor, last)
+		}
+		last = ev.Cursor
+		if want := fmt.Sprintf("job-%d", i); ev.Job.ID != want {
+			t.Fatalf("event %d = %s, want %s", i, ev.Job.ID, want)
+		}
+	}
+	if got := b.Cursor(); got != 5 {
+		t.Fatalf("broker cursor = %d, want 5", got)
+	}
+}
+
+func TestBrokerResumeAfterCursorIsGapless(t *testing.T) {
+	b := NewBroker(64)
+	for i := 1; i <= 10; i++ {
+		b.Publish(EventState, jst(fmt.Sprintf("job-%d", i), "ana", services.JobStateQueued))
+	}
+	// Resume after cursor 4: replay must be exactly 5..10, once each.
+	sub, replay, missed := b.Subscribe(4, 16, nil)
+	defer sub.Close()
+	if missed {
+		t.Fatal("resume within the ring reported missed")
+	}
+	if len(replay) != 6 {
+		t.Fatalf("replay length = %d, want 6", len(replay))
+	}
+	for i, ev := range replay {
+		if want := uint64(5 + i); ev.Cursor != want {
+			t.Fatalf("replay[%d].Cursor = %d, want %d (gap or duplicate)", i, ev.Cursor, want)
+		}
+	}
+	// New events continue after the replay with no overlap.
+	b.Publish(EventState, jst("job-11", "ana", services.JobStateDone))
+	if ev := <-sub.C; ev.Cursor != 11 {
+		t.Fatalf("live event cursor = %d, want 11", ev.Cursor)
+	}
+}
+
+func TestBrokerReportsMissedWhenRingEvicted(t *testing.T) {
+	b := NewBroker(4)
+	for i := 1; i <= 10; i++ {
+		b.Publish(EventState, jst(fmt.Sprintf("job-%d", i), "ana", services.JobStateQueued))
+	}
+	// The ring retains 7..10; resuming after 2 has an unbridgeable gap.
+	sub, replay, missed := b.Subscribe(2, 16, nil)
+	defer sub.Close()
+	if !missed {
+		t.Fatal("resume past the ring did not report missed")
+	}
+	if len(replay) != 4 || replay[0].Cursor != 7 {
+		t.Fatalf("replay = %d events starting %d, want the 4 retained from 7", len(replay), replay[0].Cursor)
+	}
+	// Resuming exactly at the eviction boundary (oldest-1) is gapless.
+	if _, replay, missed := b.Subscribe(6, 16, nil); missed || len(replay) != 4 {
+		t.Fatalf("boundary resume: missed=%v replay=%d, want clean 4", missed, len(replay))
+	}
+}
+
+func TestBrokerEvictsSlowConsumerWithoutBlocking(t *testing.T) {
+	b := NewBroker(64)
+	slow, _, _ := b.Subscribe(0, 2, nil)
+	fast, _, _ := b.Subscribe(0, 64, nil)
+	defer fast.Close()
+	done := make(chan struct{})
+	go func() {
+		// Publish far past the slow subscriber's buffer; must never block.
+		for i := 1; i <= 32; i++ {
+			b.Publish(EventState, jst(fmt.Sprintf("job-%d", i), "ana", services.JobStateQueued))
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Publish blocked on a slow consumer")
+	}
+	// The slow subscriber's channel drains its 2 buffered events then
+	// closes; Evicted distinguishes eviction from a plain Close.
+	n := 0
+	for range slow.C {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("slow consumer drained %d events, want its 2 buffered", n)
+	}
+	if !slow.Evicted() {
+		t.Fatal("slow consumer not marked evicted")
+	}
+	// The fast subscriber got everything.
+	for i := 1; i <= 32; i++ {
+		ev := <-fast.C
+		if ev.Cursor != uint64(i) {
+			t.Fatalf("fast consumer cursor = %d, want %d", ev.Cursor, i)
+		}
+	}
+	if b.Subscribers() != 1 {
+		t.Fatalf("subscribers = %d, want 1 (slow one dropped)", b.Subscribers())
+	}
+}
+
+func TestBrokerMatchFiltersReplayAndLive(t *testing.T) {
+	b := NewBroker(16)
+	b.Publish(EventState, jst("job-1", "ana", services.JobStateQueued))
+	b.Publish(EventState, jst("job-2", "bo", services.JobStateQueued))
+	onlyBo := func(ev StreamEvent) bool { return ev.Job.Owner == "bo" }
+	sub, replay, _ := b.Subscribe(1, 16, onlyBo)
+	defer sub.Close()
+	if len(replay) != 1 || replay[0].Job.ID != "job-2" {
+		t.Fatalf("filtered replay = %+v, want just job-2", replay)
+	}
+	b.Publish(EventState, jst("job-3", "ana", services.JobStateRunning))
+	b.Publish(EventState, jst("job-4", "bo", services.JobStateRunning))
+	if ev := <-sub.C; ev.Job.ID != "job-4" {
+		t.Fatalf("filtered live event = %s, want job-4", ev.Job.ID)
+	}
+}

@@ -5,32 +5,101 @@
 // paper's "user interacts with the executing application" through the
 // editor, generalized to a protocol both tools speak.
 //
-//	GET    /v1/jobs           list jobs (filter: owner, state; paginate:
-//	                          offset, limit)
-//	GET    /v1/jobs/{id}      one job's status
-//	DELETE /v1/jobs/{id}      cancel a queued or running job
-//	GET    /v1/owners         per-owner fair-share weights, quota
-//	                          limits, and live usage counters
+//	GET    /v1/jobs             list jobs (filter: owner, state;
+//	                            paginate: cursor, limit — offset is a
+//	                            deprecated alias; limit=0 is count-only)
+//	GET    /v1/jobs/{id}        one job's status
+//	GET    /v1/jobs/{id}/events one job's lifecycle as SSE (resume with
+//	                            Last-Event-ID; ends at the terminal event)
+//	GET    /v1/events           site-wide job event firehose (filter:
+//	                            owner, state)
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/owners           per-owner fair-share weights, quota
+//	                            limits, rate limits, and live usage
 //
 // All endpoints require authentication; the embedding server supplies
-// the session model.
+// the session model. When Config.RateLimit is set, every request spends
+// one token from the caller's per-owner bucket and an empty bucket
+// answers 429 with Retry-After — one owner's polling storm cannot crowd
+// out another owner's requests or streams.
 package jobsapi
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 
 	"vdce/internal/services"
 )
 
-// DefaultLimit and MaxLimit bound GET /v1/jobs pages.
+// DefaultLimit and MaxLimit bound GET /v1/jobs pages. A limit above
+// MaxLimit is rejected with 400 (not silently clamped): the caller
+// asked for a page the server will not serve, and pretending otherwise
+// would corrupt cursor arithmetic clients build on top.
 const (
 	DefaultLimit = 100
 	MaxLimit     = 1000
 )
+
+// Cursor is a position in the canonical (submit-time, then ID) listing
+// order — the keyset cursor of GET /v1/jobs. A page's next_cursor
+// encodes the last row returned; passing it back resumes strictly
+// after that row in O(page) time at any board depth, and stays correct
+// as earlier rows are evicted or later rows arrive (unlike offsets,
+// which shift whenever the set changes).
+type Cursor struct {
+	// Submitted is the row's submission time in Unix nanoseconds.
+	Submitted int64
+	// ID is the row's job ID, breaking submission-time ties.
+	ID string
+}
+
+// IsZero reports whether the cursor is the start-of-listing position.
+func (c Cursor) IsZero() bool { return c.Submitted == 0 && c.ID == "" }
+
+// CursorOf returns the cursor positioned at a job status row.
+func CursorOf(s services.JobStatus) Cursor {
+	return Cursor{Submitted: s.SubmittedAt.UnixNano(), ID: s.ID}
+}
+
+// Less orders cursors by the canonical listing order.
+func (c Cursor) Less(o Cursor) bool {
+	if c.Submitted != o.Submitted {
+		return c.Submitted < o.Submitted
+	}
+	return c.ID < o.ID
+}
+
+// Encode renders the cursor as the opaque token carried in next_cursor.
+func (c Cursor) Encode() string {
+	return base64.RawURLEncoding.EncodeToString([]byte(fmt.Sprintf("%d:%s", c.Submitted, c.ID)))
+}
+
+// DecodeCursor parses a token produced by Encode. The empty token is
+// the start of the listing.
+func DecodeCursor(token string) (Cursor, error) {
+	if token == "" {
+		return Cursor{}, nil
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(token)
+	if err != nil {
+		return Cursor{}, fmt.Errorf("jobsapi: malformed cursor %q", token)
+	}
+	sep := strings.IndexByte(string(raw), ':')
+	if sep < 0 {
+		return Cursor{}, fmt.Errorf("jobsapi: malformed cursor %q", token)
+	}
+	ns, err := strconv.ParseInt(string(raw[:sep]), 10, 64)
+	if err != nil {
+		return Cursor{}, fmt.Errorf("jobsapi: malformed cursor %q", token)
+	}
+	return Cursor{Submitted: ns, ID: string(raw[sep+1:])}, nil
+}
 
 // Source is the job store the API serves — implemented by
 // vdce.Environment.
@@ -38,6 +107,12 @@ type Source interface {
 	// ListJobs returns statuses filtered by owner and state (empty
 	// strings match everything) in a stable, deterministic order.
 	ListJobs(owner, state string) []services.JobStatus
+	// ListJobsAfter returns up to limit filtered statuses strictly after
+	// the cursor position in the canonical (submit-time, then ID) order,
+	// and whether the page filled (more may remain). Implementations
+	// must be O(limit) in the board size, not O(board) — this is the
+	// pagination path that must stay flat on deep boards.
+	ListJobsAfter(owner, state string, after Cursor, limit int) (jobs []services.JobStatus, more bool)
 	// Job returns one job's current status.
 	Job(id string) (services.JobStatus, bool)
 	// CancelJob cancels a queued or running job; canceling a terminal
@@ -46,6 +121,8 @@ type Source interface {
 	// Owners returns every known owner's fair-share weight, quota
 	// limits, and live usage counters, sorted by owner name. The usage
 	// counters must come from the same ground truth ListJobs serves.
+	// Callers must not retain or mutate the returned slice's backing
+	// array beyond the request.
 	Owners() []services.OwnerStatus
 }
 
@@ -57,19 +134,40 @@ type Config struct {
 	// The user name is what OwnerScoped authorization compares against.
 	Authenticate func(*http.Request) (user string, ok bool)
 	// OwnerScoped restricts the whole surface to the caller's own jobs
-	// (the editor mount): listings are forced to owner=<caller>, and
-	// GET/DELETE on someone else's job answer 403. Unscoped mounts (the
-	// vdce-server administrative surface) expose and control every job.
+	// (the editor mount): listings and the firehose are forced to
+	// owner=<caller>, and GET/DELETE on someone else's job answer 403.
+	// Unscoped mounts (the vdce-server administrative surface) expose
+	// and control every job.
 	OwnerScoped bool
+	// Events feeds the streaming endpoints (/v1/jobs/{id}/events and
+	// /v1/events); nil answers them 503.
+	Events *Broker
+	// EventBuffer bounds each subscriber's delivery buffer (0 =
+	// DefaultEventBuffer). A subscriber that falls this far behind is
+	// evicted rather than allowed to block the pipeline.
+	EventBuffer int
+	// RateLimit enforces a per-owner request token bucket across the
+	// whole mount; the zero value disables it.
+	RateLimit RateLimitConfig
+	// Now overrides the rate limiter's clock (tests).
+	Now func() time.Time
 }
 
 // Handler returns the /v1 job-control mux.
 func Handler(cfg Config) http.Handler {
+	limiter := newRateLimiter(cfg.RateLimit, cfg.Now)
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/jobs", cfg.auth(cfg.handleList))
-	mux.HandleFunc("GET /v1/jobs/{id}", cfg.auth(cfg.handleGet))
-	mux.HandleFunc("DELETE /v1/jobs/{id}", cfg.auth(cfg.handleCancel))
-	mux.HandleFunc("GET /v1/owners", cfg.auth(cfg.handleOwners))
+	handle := func(pattern string, h func(http.ResponseWriter, *http.Request, string)) {
+		mux.HandleFunc(pattern, cfg.auth(limiter, h))
+	}
+	handle("GET /v1/jobs", cfg.handleList)
+	handle("GET /v1/jobs/{id}", cfg.handleGet)
+	handle("GET /v1/jobs/{id}/events", cfg.handleJobEvents)
+	handle("GET /v1/events", cfg.handleFirehose)
+	handle("DELETE /v1/jobs/{id}", cfg.handleCancel)
+	handle("GET /v1/owners", func(w http.ResponseWriter, r *http.Request, user string) {
+		cfg.handleOwners(w, r, user, limiter)
+	})
 	return mux
 }
 
@@ -83,24 +181,42 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-func (c Config) auth(h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
+// auth wraps a handler with session authentication and, when a limiter
+// is configured, the per-owner request budget. The order matters: the
+// bucket is keyed by the authenticated owner, so unauthenticated
+// requests are rejected before they can spend anyone's tokens.
+func (c Config) auth(limiter *rateLimiter, h func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		user, ok := c.Authenticate(r)
 		if !ok {
 			writeErr(w, http.StatusUnauthorized, errors.New("jobsapi: not authenticated"))
 			return
 		}
+		if limiter != nil {
+			if rerr := limiter.allow(user); rerr != nil {
+				writeRateErr(w, rerr)
+				return
+			}
+		}
 		h(w, r, user)
 	}
 }
 
-// listResponse is one GET /v1/jobs page.
+// listResponse is one GET /v1/jobs page. Cursor pages carry
+// next_cursor; deprecated offset pages carry total and offset; the
+// limit=0 count-only form carries total alone.
 type listResponse struct {
-	Jobs []services.JobStatus `json:"jobs"`
-	// Total is the filtered job count before pagination.
-	Total  int `json:"total"`
-	Offset int `json:"offset"`
-	Limit  int `json:"limit"`
+	Jobs  []services.JobStatus `json:"jobs"`
+	Limit int                  `json:"limit"`
+	// NextCursor resumes the listing strictly after the last returned
+	// row; empty when the listing is exhausted. Cursor pages only.
+	NextCursor string `json:"next_cursor,omitempty"`
+	// Total is the filtered job count before pagination — offset pages
+	// and limit=0 count-only responses (computing it walks the whole
+	// filtered set, which is exactly why the cursor path omits it).
+	Total *int `json:"total,omitempty"`
+	// Offset echoes the deprecated offset parameter when used.
+	Offset *int `json:"offset,omitempty"`
 }
 
 // queryInt parses a non-negative integer query parameter.
@@ -116,28 +232,86 @@ func queryInt(r *http.Request, name string, def int) (int, error) {
 	return v, nil
 }
 
+// handleList serves GET /v1/jobs three ways, in precedence order:
+//
+//   - limit=0: count-only — zero rows plus the filtered total. The
+//     explicit contract for "how many", with none of the rows.
+//   - offset present: the deprecated offset page (O(board) on the
+//     server; answers carry a Deprecation header).
+//   - otherwise: cursor (keyset) pagination — pass next_cursor back as
+//     cursor to resume; O(page) at any depth.
 func (c Config) handleList(w http.ResponseWriter, r *http.Request, user string) {
 	q := r.URL.Query()
-	offset, err := queryInt(r, "offset", 0)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
 	limit, err := queryInt(r, "limit", DefaultLimit)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	// An explicit limit=0 is the count-only idiom: zero rows plus Total.
 	if limit > MaxLimit {
-		limit = MaxLimit
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("jobsapi: limit %d exceeds the maximum page size %d", limit, MaxLimit))
+		return
 	}
 	owner := q.Get("owner")
 	if c.OwnerScoped {
 		// Users see only their own jobs, whatever filter they ask for.
 		owner = user
 	}
-	jobs := c.Source.ListJobs(owner, q.Get("state"))
+	state := q.Get("state")
+
+	if q.Has("cursor") && q.Has("offset") {
+		writeErr(w, http.StatusBadRequest,
+			errors.New("jobsapi: cursor and offset are mutually exclusive"))
+		return
+	}
+
+	// Count-only: an explicit limit=0 returns zero rows and the filtered
+	// total, regardless of pagination mode.
+	if limit == 0 && q.Get("limit") != "" {
+		total := len(c.Source.ListJobs(owner, state))
+		writeJSON(w, http.StatusOK, listResponse{
+			Jobs: []services.JobStatus{}, Limit: 0, Total: &total,
+		})
+		return
+	}
+	if limit == 0 {
+		// limit explicitly absent cannot reach here (default applies);
+		// guard against a Source misuse all the same.
+		limit = DefaultLimit
+	}
+
+	if q.Has("offset") {
+		c.handleListOffset(w, r, owner, state, limit)
+		return
+	}
+
+	after, err := DecodeCursor(q.Get("cursor"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	jobs, more := c.Source.ListJobsAfter(owner, state, after, limit)
+	if jobs == nil {
+		jobs = []services.JobStatus{}
+	}
+	resp := listResponse{Jobs: jobs, Limit: limit}
+	if more && len(jobs) > 0 {
+		resp.NextCursor = CursorOf(jobs[len(jobs)-1]).Encode()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleListOffset is the deprecated offset pagination path, kept as an
+// alias for pre-cursor clients. It materializes the whole filtered
+// listing per request — O(board) however deep the page — which is why
+// new clients should follow next_cursor instead.
+func (c Config) handleListOffset(w http.ResponseWriter, r *http.Request, owner, state string, limit int) {
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	jobs := c.Source.ListJobs(owner, state)
 	total := len(jobs)
 	if offset > total {
 		offset = total
@@ -146,18 +320,23 @@ func (c Config) handleList(w http.ResponseWriter, r *http.Request, user string) 
 	if end > total {
 		end = total
 	}
+	w.Header().Set("Deprecation", "true")
 	writeJSON(w, http.StatusOK, listResponse{
-		Jobs: jobs[offset:end], Total: total, Offset: offset, Limit: limit,
+		Jobs: jobs[offset:end], Limit: limit, Total: &total, Offset: &offset,
 	})
 }
 
 // handleOwners serves GET /v1/owners: each owner's fair-share weight,
-// quota limits, and live usage. On owner-scoped mounts a user sees
-// only their own row (possibly empty, if they never submitted).
-func (c Config) handleOwners(w http.ResponseWriter, r *http.Request, user string) {
+// quota limits, rate-limit budget, and live usage. On owner-scoped
+// mounts a user sees only their own row (possibly empty, if they never
+// submitted).
+func (c Config) handleOwners(w http.ResponseWriter, r *http.Request, user string, limiter *rateLimiter) {
 	owners := c.Source.Owners()
 	if c.OwnerScoped {
-		scoped := owners[:0]
+		// Filter into a fresh slice: reslicing the source's return value
+		// (owners[:0]) would compact rows in place over its backing array,
+		// corrupting any listing the source serves from shared state.
+		scoped := make([]services.OwnerStatus, 0, 1)
 		for _, o := range owners {
 			if o.Owner == user {
 				scoped = append(scoped, o)
@@ -167,6 +346,18 @@ func (c Config) handleOwners(w http.ResponseWriter, r *http.Request, user string
 	}
 	if owners == nil {
 		owners = []services.OwnerStatus{}
+	}
+	if limiter != nil {
+		// Annotate a copy, not the Source's backing array (same contract
+		// the scoped filter above honors).
+		annotated := make([]services.OwnerStatus, len(owners))
+		copy(annotated, owners)
+		for i := range annotated {
+			annotated[i].RateRPS = limiter.cfg.RequestsPerSecond
+			annotated[i].RateBurst = int(limiter.cfg.burst())
+			annotated[i].RateThrottled = limiter.throttledCount(annotated[i].Owner)
+		}
+		owners = annotated
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"owners": owners})
 }

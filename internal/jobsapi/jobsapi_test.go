@@ -31,6 +31,23 @@ func (f *fakeSource) ListJobs(owner, state string) []services.JobStatus {
 	return out
 }
 
+// ListJobsAfter is the keyset page over the same canonical order
+// ListJobs serves (O(n) is fine for a test fixture).
+func (f *fakeSource) ListJobsAfter(owner, state string, after Cursor, limit int) ([]services.JobStatus, bool) {
+	all := f.ListJobs(owner, state)
+	out := make([]services.JobStatus, 0, limit)
+	for _, s := range all {
+		if !after.Less(CursorOf(s)) {
+			continue
+		}
+		if len(out) == limit {
+			return out, true
+		}
+		out = append(out, s)
+	}
+	return out, false
+}
+
 func (f *fakeSource) Job(id string) (services.JobStatus, bool) {
 	for _, s := range f.jobs {
 		if s.ID == id {
@@ -133,12 +150,38 @@ func TestListPaginationAndFilters(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("list = %d", code)
 	}
-	if total := out["total"].(float64); total != 10 {
-		t.Fatalf("total = %v, want 10", total)
+	if rows := out["jobs"].([]any); len(rows) != 10 {
+		t.Fatalf("default list returned %d rows, want 10", len(rows))
+	}
+	if _, hasTotal := out["total"]; hasTotal {
+		t.Fatalf("cursor-mode list carries total (O(board) to compute): %v", out)
 	}
 
-	// Pages of 3 tile the set without overlap, in stable order.
+	// Cursor pages of 3 tile the set without overlap, in stable order,
+	// with next_cursor absent on the final page.
 	var seen []string
+	cursor := ""
+	for page := 0; page < 5 && (page == 0 || cursor != ""); page++ {
+		out, _ := call(t, ts, "GET", "/v1/jobs?limit=3&cursor="+cursor, "ana")
+		for _, item := range out["jobs"].([]any) {
+			seen = append(seen, item.(map[string]any)["id"].(string))
+		}
+		cursor, _ = out["next_cursor"].(string)
+	}
+	if cursor != "" {
+		t.Fatalf("listing never exhausted; dangling cursor %q", cursor)
+	}
+	if len(seen) != 10 {
+		t.Fatalf("cursor pages covered %d jobs, want 10: %v", len(seen), seen)
+	}
+	for i, id := range seen {
+		if want := fmt.Sprintf("job-%d", i+1); id != want {
+			t.Fatalf("cursor page order[%d] = %s, want %s", i, id, want)
+		}
+	}
+
+	// Deprecated offset pages still tile identically and say so.
+	seen = seen[:0]
 	for offset := 0; offset < 10; offset += 3 {
 		out, _ := call(t, ts, "GET", fmt.Sprintf("/v1/jobs?limit=3&offset=%d", offset), "ana")
 		for _, item := range out["jobs"].([]any) {
@@ -146,11 +189,11 @@ func TestListPaginationAndFilters(t *testing.T) {
 		}
 	}
 	if len(seen) != 10 {
-		t.Fatalf("pages covered %d jobs, want 10: %v", len(seen), seen)
+		t.Fatalf("offset pages covered %d jobs, want 10: %v", len(seen), seen)
 	}
 	for i, id := range seen {
 		if want := fmt.Sprintf("job-%d", i+1); id != want {
-			t.Fatalf("page order[%d] = %s, want %s", i, id, want)
+			t.Fatalf("offset page order[%d] = %s, want %s", i, id, want)
 		}
 	}
 
@@ -174,6 +217,15 @@ func TestListPaginationAndFilters(t *testing.T) {
 	}
 	if _, code := call(t, ts, "GET", "/v1/jobs?offset=x", "ana"); code != http.StatusBadRequest {
 		t.Fatalf("bad offset = %d, want 400", code)
+	}
+	if _, code := call(t, ts, "GET", fmt.Sprintf("/v1/jobs?limit=%d", MaxLimit+1), "ana"); code != http.StatusBadRequest {
+		t.Fatalf("limit over MaxLimit = %d, want 400 (not a silent clamp)", code)
+	}
+	if _, code := call(t, ts, "GET", "/v1/jobs?cursor=%25%25not-base64", "ana"); code != http.StatusBadRequest {
+		t.Fatalf("malformed cursor = %d, want 400", code)
+	}
+	if _, code := call(t, ts, "GET", "/v1/jobs?cursor=AAA&offset=3", "ana"); code != http.StatusBadRequest {
+		t.Fatalf("cursor+offset = %d, want 400", code)
 	}
 
 	// Filters pass through to the source.

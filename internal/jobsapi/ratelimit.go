@@ -1,0 +1,147 @@
+package jobsapi
+
+import (
+	"fmt"
+	"math"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// RateLimitConfig is a per-owner token bucket enforced at the API mux,
+// the request-rate sibling of the admission layer's per-owner quotas:
+// every authenticated request (list, get, cancel, subscribe) spends one
+// token from the caller's bucket, which refills at RequestsPerSecond up
+// to Burst. An empty bucket answers 429 with a Retry-After header —
+// the same "back off, the server is healthy" vocabulary as a
+// queued-jobs quota rejection — while other owners' buckets, and their
+// open event streams, are untouched.
+type RateLimitConfig struct {
+	// RequestsPerSecond is the sustained per-owner refill rate; <= 0
+	// disables rate limiting entirely.
+	RequestsPerSecond float64
+	// Burst is the bucket capacity (momentary excess above the sustained
+	// rate); 0 defaults to max(1, ceil(RequestsPerSecond)).
+	Burst int
+}
+
+// Enabled reports whether the configuration enforces anything.
+func (c RateLimitConfig) Enabled() bool { return c.RequestsPerSecond > 0 }
+
+// burst resolves the effective bucket capacity.
+func (c RateLimitConfig) burst() float64 {
+	if c.Burst > 0 {
+		return float64(c.Burst)
+	}
+	return math.Max(1, math.Ceil(c.RequestsPerSecond))
+}
+
+// RateError is the typed 429 payload of a rate-limited request — the
+// request-rate counterpart of the pipeline's QuotaError, sharing its
+// field vocabulary (owner, resource, limit) so clients handle both the
+// same way.
+type RateError struct {
+	// Owner is the authenticated caller ("" never occurs: auth runs
+	// first).
+	Owner string `json:"owner"`
+	// Resource names the exhausted budget; always "api-requests".
+	Resource string `json:"resource"`
+	// Limit is the sustained refill rate in requests per second; Burst
+	// the bucket capacity.
+	Limit float64 `json:"limit"`
+	Burst int     `json:"burst"`
+	// RetryAfter is how long until one token is available.
+	RetryAfter time.Duration `json:"-"`
+}
+
+func (e *RateError) Error() string {
+	return fmt.Sprintf("jobsapi: owner %s over %s quota (%g req/s, burst %d): retry in %s",
+		e.Owner, e.Resource, e.Limit, e.Burst, e.RetryAfter.Round(time.Millisecond))
+}
+
+// rateLimiter holds one bucket per owner. Buckets are created on first
+// use; the map is bounded by the number of distinct authenticated
+// owners, the same population the admission quota ledger carries.
+type rateLimiter struct {
+	cfg RateLimitConfig
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*rateBucket
+}
+
+type rateBucket struct {
+	tokens float64
+	last   time.Time
+	// throttled counts 429s served to this owner, surfaced on
+	// /v1/owners so an owner can see it is being limited.
+	throttled uint64
+}
+
+func newRateLimiter(cfg RateLimitConfig, now func() time.Time) *rateLimiter {
+	if !cfg.Enabled() {
+		return nil
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &rateLimiter{cfg: cfg, now: now, buckets: make(map[string]*rateBucket)}
+}
+
+// allow spends one token from the owner's bucket, reporting nil on
+// success and a *RateError (with RetryAfter filled) when the bucket is
+// empty.
+func (l *rateLimiter) allow(owner string) *RateError {
+	burst := l.cfg.burst()
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[owner]
+	if !ok {
+		b = &rateBucket{tokens: burst, last: now}
+		l.buckets[owner] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(burst, b.tokens+dt*l.cfg.RequestsPerSecond)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return nil
+	}
+	b.throttled++
+	wait := time.Duration((1 - b.tokens) / l.cfg.RequestsPerSecond * float64(time.Second))
+	return &RateError{
+		Owner: owner, Resource: "api-requests",
+		Limit: l.cfg.RequestsPerSecond, Burst: int(burst), RetryAfter: wait,
+	}
+}
+
+// throttled returns how many 429s this owner has been served.
+func (l *rateLimiter) throttledCount(owner string) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if b, ok := l.buckets[owner]; ok {
+		return b.throttled
+	}
+	return 0
+}
+
+// writeRateErr renders a 429: Retry-After plus the structured
+// QuotaError-style body.
+func writeRateErr(w http.ResponseWriter, e *RateError) {
+	secs := int(math.Ceil(e.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprint(secs))
+	w.Header().Set("X-RateLimit-Limit", fmt.Sprintf("%g", e.Limit))
+	w.Header().Set("X-RateLimit-Burst", fmt.Sprint(e.Burst))
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error":    e.Error(),
+		"owner":    e.Owner,
+		"resource": e.Resource,
+		"limit":    e.Limit,
+		"burst":    e.Burst,
+	})
+}

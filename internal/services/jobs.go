@@ -118,6 +118,13 @@ type OwnerStatus struct {
 	MaxInFlight int        `json:"max_in_flight,omitempty"`
 	MaxHosts    int        `json:"max_hosts,omitempty"`
 	Usage       OwnerUsage `json:"usage"`
+	// API request rate limit enforced at the serving mount (token
+	// bucket; zero means the mount enforces none) and how many requests
+	// of this owner it has answered 429. Filled by the job-control API,
+	// not the pipeline.
+	RateRPS       float64 `json:"rate_rps,omitempty"`
+	RateBurst     int     `json:"rate_burst,omitempty"`
+	RateThrottled uint64  `json:"rate_throttled,omitempty"`
 }
 
 // JobBoard is the monitoring view of the submission pipeline: the

@@ -253,11 +253,15 @@ func TestHTTPCancelQueuedAndRunning(t *testing.T) {
 		t.Fatal("canceled running job reports no error")
 	}
 
-	// Pagination is deterministic: two pages of one cover the two
-	// canceled jobs without overlap.
+	// Pagination is deterministic: two cursor pages of one cover the two
+	// canceled jobs without overlap, and the count-only form agrees.
 	list := c.do("GET", "/v1/jobs?state=canceled&limit=1", nil, http.StatusOK)
 	first, _ := list["jobs"].([]any)
-	list2 := c.do("GET", "/v1/jobs?state=canceled&limit=1&offset=1", nil, http.StatusOK)
+	next, _ := list["next_cursor"].(string)
+	if next == "" {
+		t.Fatalf("first canceled page carries no next_cursor: %v", list)
+	}
+	list2 := c.do("GET", "/v1/jobs?state=canceled&limit=1&cursor="+next, nil, http.StatusOK)
 	second, _ := list2["jobs"].([]any)
 	if len(first) != 1 || len(second) != 1 {
 		t.Fatalf("pagination pages = %d, %d entries; want 1 and 1", len(first), len(second))
@@ -267,7 +271,8 @@ func TestHTTPCancelQueuedAndRunning(t *testing.T) {
 	if a == b {
 		t.Fatalf("pagination returned the same job twice: %v", a)
 	}
-	if total, _ := list["total"].(float64); total != 2 {
+	count := c.do("GET", "/v1/jobs?state=canceled&limit=0", nil, http.StatusOK)
+	if total, _ := count["total"].(float64); total != 2 {
 		t.Fatalf("canceled total = %v, want 2", total)
 	}
 

@@ -11,6 +11,7 @@ import (
 	"vdce/internal/afg"
 	"vdce/internal/core"
 	"vdce/internal/exec"
+	"vdce/internal/jobsapi"
 	"vdce/internal/services"
 )
 
@@ -44,6 +45,16 @@ type PipelineConfig struct {
 	// and concurrently held hosts (a scheduled job parks before
 	// execution). Zero fields are unlimited.
 	Quota QuotaConfig
+	// EventBuffer bounds the job event broker: the replay ring serving
+	// Last-Event-ID reconnects and each stream subscriber's delivery
+	// buffer (a subscriber that falls further behind is evicted, never
+	// allowed to block the board). Default jobsapi.DefaultEventBuffer.
+	EventBuffer int
+	// APIRate is the per-owner token-bucket request rate limit that
+	// jobsapi mounts over this environment enforce at the mux (requests
+	// over budget answer 429 with Retry-After). The zero value disables
+	// rate limiting.
+	APIRate jobsapi.RateLimitConfig
 }
 
 func (c *PipelineConfig) fillDefaults() {
@@ -61,6 +72,9 @@ func (c *PipelineConfig) fillDefaults() {
 	}
 	if c.AgingStep <= 0 {
 		c.AgingStep = 30 * time.Second
+	}
+	if c.EventBuffer <= 0 {
+		c.EventBuffer = jobsapi.DefaultEventBuffer
 	}
 }
 
@@ -420,10 +434,12 @@ func (j *Job) FailedHosts() []string {
 // the owner's held-hosts ledger so quota accounting tracks where the
 // job actually runs, not just where it was dispatched.
 func (j *Job) execEvent(ev exec.Event) {
+	var typ string
 	j.mu.Lock()
 	switch ev.Type {
 	case exec.EventRescheduled:
 		j.reschedules++
+		typ = jobsapi.EventRescheduled
 	case exec.EventHostFailure:
 		if j.failedSeen == nil {
 			j.failedSeen = make(map[string]bool)
@@ -432,6 +448,7 @@ func (j *Job) execEvent(ev exec.Event) {
 			j.failedSeen[ev.Host] = true
 			j.failedHosts = append(j.failedHosts, ev.Host)
 		}
+		typ = jobsapi.EventHostFailure
 	default:
 		j.mu.Unlock()
 		return
@@ -448,7 +465,9 @@ func (j *Job) execEvent(ev exec.Event) {
 			}
 		}
 	}
-	j.publish()
+	// Recovery flows to the stream typed, so subscribers see "a task
+	// moved" distinctly from ordinary lifecycle churn.
+	j.publishEvent(typ)
 }
 
 // Status snapshots the job for the monitoring board and the job-control
@@ -603,9 +622,19 @@ func (j *Job) complete(res *exec.Result) { j.terminalize(JobDone, nil, res) }
 // fail marks the job failed.
 func (j *Job) fail(err error) { j.terminalize(JobFailed, err, nil) }
 
-func (j *Job) publish() {
+func (j *Job) publish() { j.publishEvent(jobsapi.EventState) }
+
+// publishEvent snapshots the job once and pushes the status to both
+// monitoring surfaces: the job board (pull: /v1/jobs) and the event
+// broker (push: /v1/events and /v1/jobs/{id}/events), typed so stream
+// consumers can tell lifecycle transitions from mid-run recovery.
+func (j *Job) publishEvent(typ string) {
+	s := j.Status()
 	if j.board != nil {
-		j.board.Update(j.Status())
+		j.board.Update(s)
+	}
+	if j.pipe != nil && j.pipe.events != nil {
+		j.pipe.events.Publish(typ, s)
 	}
 }
 
@@ -622,6 +651,10 @@ type pipeline struct {
 	notify chan struct{} // wakes idle workers after pushes (cap QueueDepth)
 	runSem chan struct{}
 	start  time.Time
+	// events is the job event broker behind the streaming API: every
+	// lifecycle publication and engine recovery event fans out here with
+	// a monotonic cursor.
+	events *jobsapi.Broker
 
 	workerWG sync.WaitGroup // scheduler workers
 
@@ -663,6 +696,7 @@ func startPipeline(ctx context.Context, env *Environment, cfg PipelineConfig) *p
 		notify: make(chan struct{}, cfg.QueueDepth),
 		runSem: make(chan struct{}, cfg.MaxConcurrentRuns),
 		start:  time.Now(),
+		events: jobsapi.NewBroker(cfg.EventBuffer),
 		svc:    make(map[int]*siteSvc),
 		byID:   make(map[string]*Job),
 	}
@@ -705,7 +739,6 @@ func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
 	if err := p.admit.reserveQueued(spec.owner); err != nil {
 		return nil, err
 	}
-	now := time.Now()
 	job := &Job{
 		Owner:       spec.owner,
 		Graph:       spec.graph,
@@ -714,13 +747,11 @@ func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
 		priority:    spec.priority,
 		shareWeight: spec.shareWeight,
 		deadline:    spec.deadline,
-		enqueued:    now,
 		board:       p.env.Board,
 		pipe:        p,
 		done:        make(chan struct{}),
 		cancelCh:    make(chan struct{}),
 		state:       JobQueued,
-		submitted:   now,
 	}
 	p.mu.Lock()
 	if p.closed {
@@ -735,7 +766,18 @@ func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
 	job.home = spec.home
 	p.nextID++
 	job.ID = fmt.Sprintf("job-%d", p.nextID)
+	// Stamp the submission time under p.mu so p.jobs stays sorted in the
+	// canonical (submitted, ID) listing order: two concurrent submits
+	// cannot observe inverted clocks, and the insert below only has to
+	// bubble past timestamp ties (where string ID order, e.g. "job-10" <
+	// "job-9", can disagree with assignment order). Cursor pagination
+	// binary-searches this order.
+	now := time.Now()
+	job.submitted, job.enqueued = now, now
 	p.jobs = append(p.jobs, job)
+	for i := len(p.jobs) - 1; i > 0 && canonicalBefore(p.jobs[i], p.jobs[i-1]); i-- {
+		p.jobs[i], p.jobs[i-1] = p.jobs[i-1], p.jobs[i]
+	}
 	p.byID[job.ID] = job
 	p.mu.Unlock()
 	p.pruneRetained()
@@ -1170,6 +1212,77 @@ func (p *pipeline) snapshot() []*Job {
 	return append([]*Job(nil), p.jobs...)
 }
 
+// canonicalBefore orders job handles exactly like services.SortJobs
+// orders their statuses: (submission time, then ID string). submit()
+// maintains p.jobs in this order so cursor pagination can binary-search
+// it; both fields are immutable after registration, so no job lock is
+// needed.
+func canonicalBefore(a, b *Job) bool {
+	if !a.submitted.Equal(b.submitted) {
+		return a.submitted.Before(b.submitted)
+	}
+	return a.ID < b.ID
+}
+
+// pageAfter returns up to limit job statuses matching the owner/state
+// filters whose cursor strictly follows after, in canonical order, plus
+// whether more matching rows may follow. Cost is O(log n) to locate the
+// resume point plus O(rows scanned for this page) — independent of how
+// deep into the board the page sits, unlike offset pagination which
+// materializes every preceding row.
+func (p *pipeline) pageAfter(owner, state string, after jobsapi.Cursor, limit int) ([]services.JobStatus, bool) {
+	if limit <= 0 {
+		return nil, false
+	}
+	var positions map[string]int
+	out := make([]services.JobStatus, 0, limit)
+	const chunk = 256
+	buf := make([]*Job, 0, chunk)
+	for {
+		buf = buf[:0]
+		p.mu.Lock()
+		// Resume strictly after the cursor. p.jobs is canonically ordered
+		// (see submit), so the first candidate is found by binary search —
+		// cursors name a (time, ID) position, not an index, which is why
+		// rows evicted by retention are simply skipped, never double-served.
+		i := sort.Search(len(p.jobs), func(i int) bool {
+			j := p.jobs[i]
+			return after.Less(jobsapi.Cursor{Submitted: j.submitted.UnixNano(), ID: j.ID})
+		})
+		for ; i < len(p.jobs) && len(buf) < chunk; i++ {
+			buf = append(buf, p.jobs[i])
+		}
+		done := i >= len(p.jobs)
+		p.mu.Unlock()
+		// Snapshot and filter outside the lock: statuses take each job's
+		// own mutex, and a page of snapshots under p.mu would stall submits.
+		for _, j := range buf {
+			s := j.statusSnapshot()
+			after = jobsapi.Cursor{Submitted: s.SubmittedAt.UnixNano(), ID: s.ID}
+			if !s.Matches(owner, state) {
+				continue
+			}
+			if s.State == services.JobStateQueued {
+				if positions == nil {
+					// One fair-queuing replay covers every queued row on the
+					// page, same as ListJobs.
+					positions = p.admit.positions()
+				}
+				s.QueuePosition = positions[s.ID]
+			}
+			if len(out) == limit {
+				// A row beyond the page proves there is more; it is re-served
+				// as the first row of the next page.
+				return out, true
+			}
+			out = append(out, s)
+		}
+		if done {
+			return out, false
+		}
+	}
+}
+
 // Submit admits an application into the environment's concurrent
 // submission pipeline and returns its Job handle immediately. Functional
 // options carry the submission's owner, priority, deadline, home site,
@@ -1267,6 +1380,16 @@ func (env *Environment) ListJobs(owner, state string) []services.JobStatus {
 	}
 	services.SortJobs(out)
 	return out
+}
+
+// ListJobsAfter returns up to limit live job statuses matching the
+// owner/state filters that sort strictly after the cursor in canonical
+// (submission time, then ID) order, plus whether more matches may
+// follow. It is the keyset-pagination backend of GET /v1/jobs: cost is
+// proportional to the page, not to how deep the page sits, so the last
+// page of a 100k-job board costs the same as the first.
+func (env *Environment) ListJobsAfter(owner, state string, after jobsapi.Cursor, limit int) ([]services.JobStatus, bool) {
+	return env.pipe.pageAfter(owner, state, after, limit)
 }
 
 // Owners reports every known owner's fair-share weight, configured

@@ -551,9 +551,18 @@ func (env *Environment) EditorServer(execute bool, k int) *editor.Server {
 
 // JobsHandler mounts the versioned job-control API (/v1/jobs) over this
 // environment's pipeline. The caller supplies authentication and
-// scoping; Source is filled in.
+// scoping; Source is filled in, and unless the caller overrides them,
+// the event broker and per-owner request rate limit come from the
+// pipeline configuration — so every mount (vdce-server, editor) streams
+// the same events and enforces the same budget.
 func (env *Environment) JobsHandler(cfg jobsapi.Config) http.Handler {
 	cfg.Source = env
+	if cfg.Events == nil {
+		cfg.Events = env.pipe.events
+	}
+	if !cfg.RateLimit.Enabled() {
+		cfg.RateLimit = env.pipe.cfg.APIRate
+	}
 	return jobsapi.Handler(cfg)
 }
 
