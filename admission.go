@@ -158,6 +158,13 @@ type ownerShare struct {
 	// one each) — a capped owner's backlog waits in the queue, not in a
 	// growing pile of goroutines holding stale placements.
 	parked int
+	// pinned marks a weight set by the owner-admin endpoint: submissions
+	// no longer override it (normally the latest job's resolved share
+	// weight wins).
+	pinned bool
+	// caps, when non-nil, replaces the queue-wide QuotaConfig for this
+	// owner — the admin endpoint's per-owner quota override.
+	caps *QuotaConfig
 }
 
 func newAdmitQueue(step time.Duration, quota QuotaConfig) *admitQueue {
@@ -206,11 +213,29 @@ func (q *admitQueue) reserveQueued(owner string) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	os := q.owner(owner)
-	if cap := q.quota.MaxQueuedPerOwner; cap > 0 && os.reserved >= cap {
+	if cap := q.capsFor(os).MaxQueuedPerOwner; cap > 0 && os.reserved >= cap {
 		return &QuotaError{Owner: owner, Resource: "queued-jobs", Limit: cap, Used: os.reserved}
 	}
 	os.reserved++
 	return nil
+}
+
+// adoptQueued re-enqueues a job recovered from the durable store:
+// reservation and push in one step, bypassing the queued-jobs cap — the
+// job was already admitted in the previous incarnation, and rejecting
+// it now would silently drop accepted work.
+func (q *admitQueue) adoptQueued(j *Job) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.owner(j.Owner).reserved++
+	q.seq++
+	q.gen++
+	os := q.owner(j.Owner)
+	if j.shareWeight >= 1 && !os.pinned {
+		os.weight = clampShareWeight(j.shareWeight)
+	}
+	os.jobs = append(os.jobs, admitEntry{job: j, rank: q.rank(j.priority, j.enqueued), seq: q.seq})
+	os.up(len(os.jobs) - 1)
 }
 
 // unreserveQueued returns a reservation for a submission that never
@@ -232,11 +257,21 @@ func (q *admitQueue) push(j *Job) {
 	q.seq++
 	q.gen++
 	os := q.owner(j.Owner)
-	if j.shareWeight >= 1 {
+	if j.shareWeight >= 1 && !os.pinned {
 		os.weight = clampShareWeight(j.shareWeight)
 	}
 	os.jobs = append(os.jobs, admitEntry{job: j, rank: q.rank(j.priority, j.enqueued), seq: q.seq})
 	os.up(len(os.jobs) - 1)
+}
+
+// capsFor returns the quota caps that govern an owner: its admin
+// override when one is set, the queue-wide config otherwise. Caller
+// holds q.mu.
+func (q *admitQueue) capsFor(os *ownerShare) QuotaConfig {
+	if os.caps != nil {
+		return *os.caps
+	}
+	return q.quota
 }
 
 // eligible reports whether the owner may dispatch another job: it has
@@ -248,7 +283,7 @@ func (q *admitQueue) eligible(os *ownerShare) bool {
 	if len(os.jobs) == 0 {
 		return false
 	}
-	if cap := q.quota.MaxInFlightPerOwner; cap > 0 && os.inFlight >= cap {
+	if cap := q.capsFor(os).MaxInFlightPerOwner; cap > 0 && os.inFlight >= cap {
 		return false
 	}
 	if os.parked > 0 {
@@ -402,7 +437,7 @@ func (q *admitQueue) tryChargeHosts(j *Job, hosts []string) bool {
 	}
 	os := q.owner(j.Owner)
 	n := len(hosts)
-	if cap := q.quota.MaxHostsPerOwner; cap > 0 && os.hostsHeld > 0 && os.hostsHeld+n > cap {
+	if cap := q.capsFor(os).MaxHostsPerOwner; cap > 0 && os.hostsHeld > 0 && os.hostsHeld+n > cap {
 		return false
 	}
 	os.hostsHeld += n
@@ -557,6 +592,39 @@ func (q *admitQueue) queuedLen() int {
 		n += len(os.jobs)
 	}
 	return n
+}
+
+// setOwnerAdmin applies a runtime owner-admin update: a weight >= 1
+// pins the owner's fair-share weight against future submissions, and a
+// non-nil caps installs a per-owner quota override (replacing any
+// previous override wholesale). It wakes parked dispatches — a raised
+// cap may free them — and invalidates the position cache, since a
+// weight change reorders the arbitration replay.
+func (q *admitQueue) setOwnerAdmin(name string, weight int, caps *QuotaConfig) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	os := q.owner(name)
+	if weight >= 1 {
+		os.weight = clampShareWeight(weight)
+		os.pinned = true
+	}
+	if caps != nil {
+		c := *caps
+		os.caps = &c
+	}
+	q.gen++
+	close(q.changed)
+	q.changed = make(chan struct{})
+}
+
+// ownerAdmin reports an owner's effective admin state: weight, whether
+// it is pinned, the caps that govern it, and whether those caps are a
+// per-owner override (as opposed to the queue-wide config).
+func (q *admitQueue) ownerAdmin(name string) (weight int, pinned bool, caps QuotaConfig, override bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	os := q.owner(name)
+	return os.weight, os.pinned, q.capsFor(os), os.caps != nil
 }
 
 // ownerWeights snapshots each known owner's fair-share weight.

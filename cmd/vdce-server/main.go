@@ -9,11 +9,16 @@
 // with 429 over the cap, in-flight and held-host excess parks). The
 // versioned job-control API (GET /v1/jobs with owner/state filters and
 // cursor pagination, GET /v1/jobs/{id}, DELETE /v1/jobs/{id} to cancel,
-// GET /v1/owners for per-owner weights/quotas/usage) serves status and
-// control; GET /v1/jobs/{id}/events and GET /v1/events stream job
-// transitions as Server-Sent Events so clients subscribe instead of
-// polling; -rate-rps adds a per-owner API request rate limit (429 with
-// Retry-After over it). The legacy GET /jobs dump remains.
+// GET /v1/owners for per-owner weights/quotas/usage, PATCH
+// /v1/owners/{owner} for runtime weight pins and quota overrides)
+// serves status and control; GET /v1/jobs/{id}/events and GET
+// /v1/events stream job transitions as Server-Sent Events so clients
+// subscribe instead of polling; -rate-rps adds a per-owner API request
+// rate limit (429 with Retry-After over it). The legacy GET /jobs dump
+// remains. With -store-dir the control plane is durable: job lifecycle,
+// owner admin state, and learned performance history are logged to an
+// append-only store, and a restarted server re-admits queued jobs and
+// re-dispatches in-flight ones.
 //
 //	vdce-server -hosts 8 -http 127.0.0.1:8470 -workers 4 -parallel 8
 //	vdce-server -hosts 8 -quota-queued 32 -quota-inflight 4
@@ -92,6 +97,7 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 	rateRPS := fs.Float64("rate-rps", 0, "per-owner API request rate limit in requests/second (0 = unlimited; over-limit requests get 429 with Retry-After)")
 	rateBurst := fs.Int("rate-burst", 0, "per-owner API request burst capacity (0 = ceil of -rate-rps)")
 	eventBuffer := fs.Int("event-buffer", 0, "job-event replay ring size for SSE Last-Event-ID resume (0 = default 4096)")
+	storeDir := fs.String("store-dir", "", "durable control-plane store directory: job lifecycle, owner admin state, and performance history survive restarts (empty = in-memory only)")
 	chaosName := fs.String("chaos", "", "play a fault scenario against the live testbed: kill-quarter|rolling-restart|site-partition")
 	chaosSpan := fs.Duration("chaos-span", 30*time.Second, "duration the -chaos scenario is spread over")
 	if err := fs.Parse(args); err != nil {
@@ -125,11 +131,17 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 			},
 			EventBuffer: *eventBuffer,
 		},
+		StoreDir: *storeDir,
 	})
 	if err != nil {
 		return err
 	}
 	defer env.Close()
+	if *storeDir != "" {
+		rep := env.Recovery()
+		fmt.Fprintf(out, "store: %s (recovered: %d queued re-admitted, %d in-flight re-dispatched, %d terminal retained)\n",
+			*storeDir, rep.QueuedRecovered, rep.InFlightRedispatched, rep.TerminalRetained)
+	}
 
 	if *chaosName != "" {
 		sc, err := chaos.Named(*chaosName, env.TB, *chaosSpan)
@@ -169,6 +181,7 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 	mux.Handle("GET /v1/events", jobsV1)
 	mux.Handle("DELETE /v1/jobs/{id}", jobsV1)
 	mux.Handle("GET /v1/owners", jobsV1)
+	mux.Handle("PATCH /v1/owners/{owner}", jobsV1)
 	// Legacy job lifecycle monitoring: every submission's state, straight
 	// off the environment's job board. Shares the editor's login model.
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {

@@ -13,9 +13,19 @@
 //
 //	vdce-sim -family layered -tasks 24 -sites 2 -chaos kill-quarter
 //	vdce-sim -chaos site-partition -sites 3
+//
+// The server-restart scenario exercises the control plane instead of
+// the hosts: it boots a durable environment (Config.StoreDir), runs a
+// job workload through the submission pipeline, kills the control
+// plane mid-workload (no graceful flush), restarts it on the same
+// store, and reports how many queued jobs were re-admitted and
+// in-flight jobs re-dispatched:
+//
+//	vdce-sim -chaos server-restart -sites 2 -hosts 3
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,10 +34,14 @@ import (
 	"os"
 	"time"
 
+	"vdce"
+	"vdce/internal/afg"
 	"vdce/internal/chaos"
 	"vdce/internal/core"
 	"vdce/internal/detect"
+	"vdce/internal/services"
 	"vdce/internal/sim"
+	"vdce/internal/tasklib"
 	"vdce/internal/testbed"
 	"vdce/internal/trace"
 	"vdce/internal/workload"
@@ -51,12 +65,19 @@ func run(args []string, out io.Writer) error {
 	policy := fs.String("policy", "vdce", "vdce|fifo|random|rrobin|minmin")
 	seed := fs.Int64("seed", 1, "seed")
 	ganttWidth := fs.Int("gantt-width", 80, "gantt chart width")
-	chaosName := fs.String("chaos", "", "fault scenario: kill-quarter|rolling-restart|site-partition")
+	chaosName := fs.String("chaos", "", "fault scenario: kill-quarter|rolling-restart|site-partition|server-restart")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
 		return err
+	}
+
+	if *chaosName == "server-restart" {
+		// A control-plane fault, not a host fault: it drives the full
+		// environment (durable store included), so it bypasses the
+		// schedule-and-simulate path below entirely.
+		return runServerRestart(out, *sites, *hosts, *seed)
 	}
 
 	tb, err := testbed.Build(testbed.Config{
@@ -151,6 +172,101 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprint(out, res)
 	fmt.Fprintln(out)
 	fmt.Fprint(out, trace.Gantt(trace.FromSim(w.G, table, res), *ganttWidth))
+	return nil
+}
+
+// restartGraph builds the i-th application of the server-restart
+// workload: small Linear Equation Solver instances with the builders'
+// machine-type preferences cleared (the fabricated testbed mixes types
+// arbitrarily).
+func restartGraph(i int, seed int64) (*afg.Graph, error) {
+	g, err := tasklib.BuildLinearEquationSolver(8+4*(i%3), seed+int64(i))
+	if err != nil {
+		return nil, err
+	}
+	for _, task := range g.Tasks {
+		task.Props.MachineType = ""
+	}
+	g.Name = fmt.Sprintf("%s#%d", g.Name, i)
+	return g, nil
+}
+
+// runServerRestart is the control-plane fault scenario: a durable
+// environment runs a job workload, dies mid-workload without a
+// graceful flush (Environment.Crash), and a second incarnation on the
+// same store directory recovers — queued jobs re-admitted with their
+// admission parameters intact, in-flight jobs re-dispatched through a
+// fresh scheduling round — then drains the recovered workload to done.
+func runServerRestart(out io.Writer, sites, hosts int, seed int64) error {
+	dir, err := os.MkdirTemp("", "vdce-restart-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg := vdce.Config{
+		Testbed: testbed.Config{Sites: sites, HostsPerGroup: hosts, Seed: seed, BaseLoadMax: 0.2},
+		// One worker and one run slot serialize dispatch, so most of the
+		// workload is still queued (and one job in flight) at the kill.
+		Pipeline: vdce.PipelineConfig{SchedulerWorkers: 1, MaxConcurrentRuns: 1},
+		StoreDir: dir,
+	}
+	env, err := vdce.New(cfg)
+	if err != nil {
+		return err
+	}
+	const jobs = 10
+	ctx := context.Background()
+	for i := 0; i < jobs; i++ {
+		g, gerr := restartGraph(i, seed)
+		if gerr != nil {
+			env.Crash()
+			return gerr
+		}
+		if _, serr := env.Submit(ctx, g, vdce.WithMaxHosts(sites-1)); serr != nil {
+			env.Crash()
+			return serr
+		}
+	}
+	// Kill mid-workload: wait (briefly) until at least one job left the
+	// queue, so the restart exercises in-flight re-adoption too.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		c := env.Board.Counts()
+		if c[services.JobStateScheduling]+c[services.JobStateRunning] > 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	pre := env.Board.Counts()
+	fmt.Fprintf(out, "server-restart: killing control plane with %d queued, %d in flight, %d done\n",
+		pre[services.JobStateQueued],
+		pre[services.JobStateScheduling]+pre[services.JobStateRunning],
+		pre[services.JobStateDone])
+	env.Crash()
+
+	env2, err := vdce.New(cfg)
+	if err != nil {
+		return fmt.Errorf("restart on %s: %w", dir, err)
+	}
+	defer env2.Close()
+	rep := env2.Recovery()
+	fmt.Fprintf(out, "server-restart: recovered %d queued re-admitted, %d in-flight re-dispatched, %d terminal retained\n",
+		rep.QueuedRecovered, rep.InFlightRedispatched, rep.TerminalRetained)
+
+	drainCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	if err := env2.Drain(drainCtx); err != nil {
+		return fmt.Errorf("post-restart drain: %w", err)
+	}
+	post := env2.Board.Counts()
+	fmt.Fprintf(out, "server-restart: after drain %d done, %d failed, %d canceled\n",
+		post[services.JobStateDone], post[services.JobStateFailed], post[services.JobStateCanceled])
+	if got := rep.QueuedRecovered + rep.InFlightRedispatched + rep.TerminalRetained; got != jobs {
+		return fmt.Errorf("recovery lost jobs: %d recovered of %d submitted", got, jobs)
+	}
+	if post[services.JobStateDone] != jobs {
+		return fmt.Errorf("post-restart workload did not finish: %d/%d done", post[services.JobStateDone], jobs)
+	}
 	return nil
 }
 

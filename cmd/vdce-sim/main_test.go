@@ -56,6 +56,28 @@ func TestRunChaosScenarios(t *testing.T) {
 	}
 }
 
+// TestRunServerRestartScenario smoke-tests the control-plane fault
+// scenario: kill a durable control plane mid-workload, restart it on
+// the same store, recover every job, and drain the workload to done.
+func TestRunServerRestartScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("restarts a full environment and drains a workload")
+	}
+	var out strings.Builder
+	err := run([]string{"-sites", "2", "-hosts", "3", "-seed", "5", "-chaos", "server-restart"}, &out)
+	if err != nil {
+		t.Fatalf("%v\noutput:\n%s", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"killing control plane", "recovered", "re-admitted", "after drain",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("server-restart output missing %q:\n%s", want, got)
+		}
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-family", "no-such-family"}, &out); err == nil {

@@ -134,6 +134,10 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle("GET /v1/jobs/{id}/events", s.Jobs)
 		mux.Handle("GET /v1/events", s.Jobs)
 		mux.Handle("/v1/owners", s.Jobs)
+		// Owner administration is routed through so the owner-scoped API
+		// answers it with a clean 403 (the editor surface is read-only on
+		// owners) instead of a mux 404.
+		mux.Handle("PATCH /v1/owners/{owner}", s.Jobs)
 	}
 	return mux
 }

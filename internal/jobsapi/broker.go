@@ -24,6 +24,10 @@ const (
 	// current status — sent at subscribe time so a client that joins (or
 	// rejoins past the replay ring) always converges on present state.
 	EventSnapshot = "snapshot"
+	// EventRecovered: the control plane restarted and re-adopted this
+	// job from the durable store — it was in flight when the previous
+	// incarnation died and is being re-dispatched.
+	EventRecovered = "recovered"
 )
 
 // StreamEvent is one notification on the job event stream.
@@ -64,17 +68,34 @@ type Broker struct {
 	start int
 	count int
 	subs  map[*Subscriber]struct{}
+	// onPublish, when set, observes every assigned cursor (called under
+	// b.mu) — the durability hook persisting the stream's high-water
+	// mark.
+	onPublish func(uint64)
 }
 
 // NewBroker returns a broker retaining the last buffer events for
 // reconnect replay (0 means DefaultEventBuffer).
 func NewBroker(buffer int) *Broker {
+	return NewBrokerAt(buffer, 0, nil)
+}
+
+// NewBrokerAt returns a broker whose first published event gets cursor
+// start+1, with onPublish (may be nil) observing every assigned cursor.
+// A control plane restarting from a durable store resumes above the
+// persisted high-water mark, so every cursor issued by a previous
+// incarnation is strictly below every new one — stale Last-Event-ID
+// resumes are detected as gaps instead of silently replaying the wrong
+// events.
+func NewBrokerAt(buffer int, start uint64, onPublish func(uint64)) *Broker {
 	if buffer <= 0 {
 		buffer = DefaultEventBuffer
 	}
 	return &Broker{
-		ring: make([]StreamEvent, buffer),
-		subs: make(map[*Subscriber]struct{}),
+		next:      start,
+		ring:      make([]StreamEvent, buffer),
+		subs:      make(map[*Subscriber]struct{}),
+		onPublish: onPublish,
 	}
 }
 
@@ -128,6 +149,9 @@ func (b *Broker) Publish(typ string, job services.JobStatus) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.next++
+	if b.onPublish != nil {
+		b.onPublish(b.next)
+	}
 	ev := StreamEvent{Cursor: b.next, Type: typ, Job: job}
 	// Retain in the ring, overwriting the oldest once full.
 	i := (b.start + b.count) % len(b.ring)
@@ -179,7 +203,20 @@ func (b *Broker) Subscribe(after uint64, buffer int, match func(StreamEvent) boo
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if after > 0 {
-		if b.count > 0 && after < b.ring[b.start].Cursor-1 {
+		switch {
+		case b.count > 0 && after < b.ring[b.start].Cursor-1:
+			// Events between after and the oldest retained one are gone.
+			missed = true
+		case b.count == 0 && after < b.next:
+			// Nothing retained but cursors have moved past after — every
+			// intervening event is unreplayable. The empty-ring case covers
+			// a broker freshly restarted at a persisted high-water mark:
+			// a pre-restart cursor must not silently resume with a gap.
+			missed = true
+		case after > b.next:
+			// A cursor from the future: this broker never issued it (a
+			// stale client talking to a restarted server whose high-water
+			// mark lagged, or a corrupted value). Resynchronize.
 			missed = true
 		}
 		for i := 0; i < b.count; i++ {

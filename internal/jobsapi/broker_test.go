@@ -143,3 +143,51 @@ func TestBrokerMatchFiltersReplayAndLive(t *testing.T) {
 		t.Fatalf("filtered live event = %s, want job-4", ev.Job.ID)
 	}
 }
+
+// TestBrokerRestartCursorSemantics covers NewBrokerAt, the restart
+// constructor: cursors resume above the persisted high-water mark,
+// onPublish observes every assignment (the durable store hooks it),
+// and a client resuming with a pre-restart cursor is told it missed
+// events instead of silently skipping the gap.
+func TestBrokerRestartCursorSemantics(t *testing.T) {
+	var observed []uint64
+	b := NewBrokerAt(8, 100, func(cur uint64) { observed = append(observed, cur) })
+	if got := b.Cursor(); got != 100 {
+		t.Fatalf("restarted broker Cursor() = %d, want 100", got)
+	}
+
+	// A cursor at the high-water mark resumes cleanly (nothing new yet).
+	sub, replay, missed := b.Subscribe(100, 4, nil)
+	sub.Close()
+	if missed || len(replay) != 0 {
+		t.Fatalf("resume at mark: replay=%d missed=%v", len(replay), missed)
+	}
+	// A cursor below the mark is stale — those events lived in the
+	// previous incarnation's ring and are gone.
+	sub, replay, missed = b.Subscribe(5, 4, nil)
+	sub.Close()
+	if !missed {
+		t.Fatal("stale pre-restart cursor resumed without missed signal")
+	}
+	if len(replay) != 0 {
+		t.Fatalf("stale resume replayed %d events", len(replay))
+	}
+	// A cursor from the future (e.g. a different store) is also a gap.
+	sub, _, missed = b.Subscribe(1000, 4, nil)
+	sub.Close()
+	if !missed {
+		t.Fatal("future cursor resumed without missed signal")
+	}
+
+	// New publishes continue the persisted sequence and are observed.
+	b.Publish(EventState, jst("job-1", "ana", services.JobStateQueued))
+	b.Publish(EventState, jst("job-2", "ana", services.JobStateRunning))
+	if len(observed) != 2 || observed[0] != 101 || observed[1] != 102 {
+		t.Fatalf("onPublish observed %v, want [101 102]", observed)
+	}
+	sub, replay, missed = b.Subscribe(100, 4, nil)
+	defer sub.Close()
+	if missed || len(replay) != 2 || replay[0].Cursor != 101 {
+		t.Fatalf("post-restart replay = %+v missed=%v", replay, missed)
+	}
+}

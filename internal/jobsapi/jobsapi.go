@@ -16,6 +16,11 @@
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/owners           per-owner fair-share weights, quota
 //	                            limits, rate limits, and live usage
+//	PATCH  /v1/owners/{owner}   runtime owner administration: pin the
+//	                            fair-share weight, override quota caps
+//	                            (site-wide mounts only; owner-scoped
+//	                            mounts answer 403 — the editor surface
+//	                            stays read-only)
 //
 // All endpoints require authentication; the embedding server supplies
 // the session model. When Config.RateLimit is set, every request spends
@@ -124,6 +129,11 @@ type Source interface {
 	// Callers must not retain or mutate the returned slice's backing
 	// array beyond the request.
 	Owners() []services.OwnerStatus
+	// UpdateOwner applies a partial owner-admin change — pin the
+	// fair-share weight, override quota caps — effective on the live
+	// admission queue immediately and persisted when the environment is
+	// durable. An empty update is an error.
+	UpdateOwner(owner string, upd services.OwnerUpdate) (services.OwnerStatus, error)
 }
 
 // Config wires one mount of the API.
@@ -168,6 +178,7 @@ func Handler(cfg Config) http.Handler {
 	handle("GET /v1/owners", func(w http.ResponseWriter, r *http.Request, user string) {
 		cfg.handleOwners(w, r, user, limiter)
 	})
+	handle("PATCH /v1/owners/{owner}", cfg.handleOwnerPatch)
 	return mux
 }
 
@@ -360,6 +371,38 @@ func (c Config) handleOwners(w http.ResponseWriter, r *http.Request, user string
 		owners = annotated
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"owners": owners})
+}
+
+// handleOwnerPatch serves PATCH /v1/owners/{owner}: a partial admin
+// update (weight pin, quota-cap override) applied to the live admission
+// queue and persisted when the environment is durable. It is an
+// administrative verb: owner-scoped mounts (the editor) answer 403 for
+// everyone — users do not set their own weights — and only the
+// site-wide mount carries it.
+func (c Config) handleOwnerPatch(w http.ResponseWriter, r *http.Request, user string) {
+	if c.OwnerScoped {
+		writeErr(w, http.StatusForbidden,
+			errors.New("jobsapi: owner administration requires the site-wide mount"))
+		return
+	}
+	owner := r.PathValue("owner")
+	var upd services.OwnerUpdate
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&upd); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("jobsapi: bad owner update: %w", err))
+		return
+	}
+	if upd.Empty() {
+		writeErr(w, http.StatusBadRequest, errors.New("jobsapi: empty owner update"))
+		return
+	}
+	s, err := c.Source.UpdateOwner(owner, upd)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"owner": s})
 }
 
 // fetch resolves one job for the authenticated user, writing the 404 /

@@ -18,6 +18,8 @@ import (
 type fakeSource struct {
 	jobs     []services.JobStatus
 	canceled []string
+	// updates records UpdateOwner calls (owner name and the update).
+	updates map[string]services.OwnerUpdate
 }
 
 func (f *fakeSource) ListJobs(owner, state string) []services.JobStatus {
@@ -92,6 +94,32 @@ func (f *fakeSource) Owners() []services.OwnerStatus {
 		out = append(out, services.OwnerStatus{Owner: n, Weight: 1, Usage: usage[n]})
 	}
 	return out
+}
+
+// UpdateOwner records the change and echoes it back as a status row.
+func (f *fakeSource) UpdateOwner(owner string, upd services.OwnerUpdate) (services.OwnerStatus, error) {
+	if upd.Empty() {
+		return services.OwnerStatus{}, errors.New("empty owner update")
+	}
+	if f.updates == nil {
+		f.updates = make(map[string]services.OwnerUpdate)
+	}
+	f.updates[owner] = upd
+	s := services.OwnerStatus{Owner: owner, Weight: 1}
+	if upd.Weight != nil {
+		s.Weight = *upd.Weight
+		s.WeightPinned = true
+	}
+	if upd.MaxQueued != nil {
+		s.MaxQueued = *upd.MaxQueued
+	}
+	if upd.MaxInFlight != nil {
+		s.MaxInFlight = *upd.MaxInFlight
+	}
+	if upd.MaxHosts != nil {
+		s.MaxHosts = *upd.MaxHosts
+	}
+	return s, nil
 }
 
 func newTestAPI(t *testing.T, n int, ownerScoped bool) (*httptest.Server, *fakeSource) {
@@ -330,5 +358,71 @@ func TestCancelOwnerScoping(t *testing.T) {
 	}
 	if _, code := call(t, ts2, "DELETE", "/v1/jobs/job-404", "ana"); code != http.StatusNotFound {
 		t.Fatalf("cancel unknown = %d, want 404", code)
+	}
+}
+
+// callBody is call with a JSON request body, for the PATCH surface.
+func callBody(t *testing.T, ts *httptest.Server, method, path, user, body string) (map[string]any, int) {
+	t.Helper()
+	req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if user != "" {
+		req.Header.Set("X-User", user)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return out, resp.StatusCode
+}
+
+func TestOwnerPatch(t *testing.T) {
+	ts, src := newTestAPI(t, 2, false)
+
+	out, code := callBody(t, ts, "PATCH", "/v1/owners/ana", "admin",
+		`{"weight": 7, "max_queued": 2, "max_hosts": 3}`)
+	if code != http.StatusOK {
+		t.Fatalf("patch = %d: %v", code, out)
+	}
+	row, _ := out["owner"].(map[string]any)
+	if row["weight"] != float64(7) || row["weight_pinned"] != true {
+		t.Fatalf("patched owner = %v, want pinned weight 7", row)
+	}
+	upd, ok := src.updates["ana"]
+	if !ok || upd.Weight == nil || *upd.Weight != 7 ||
+		upd.MaxQueued == nil || *upd.MaxQueued != 2 ||
+		upd.MaxHosts == nil || *upd.MaxHosts != 3 || upd.MaxInFlight != nil {
+		t.Fatalf("source saw update %+v", upd)
+	}
+
+	// An empty patch is a bad request, not a silent no-op.
+	if _, code := callBody(t, ts, "PATCH", "/v1/owners/ana", "admin", `{}`); code != http.StatusBadRequest {
+		t.Fatalf("empty patch = %d, want 400", code)
+	}
+	// Unknown fields are rejected so typos cannot read as no-ops.
+	if _, code := callBody(t, ts, "PATCH", "/v1/owners/ana", "admin",
+		`{"wieght": 7}`); code != http.StatusBadRequest {
+		t.Fatalf("unknown-field patch = %d, want 400", code)
+	}
+	// Unauthenticated callers get 401 like the rest of the surface.
+	if _, code := callBody(t, ts, "PATCH", "/v1/owners/ana", "",
+		`{"weight": 2}`); code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated patch = %d, want 401", code)
+	}
+
+	// The owner-scoped (editor) mount keeps the admin surface read-only.
+	ts2, src2 := newTestAPI(t, 2, true)
+	if _, code := callBody(t, ts2, "PATCH", "/v1/owners/ana", "ana",
+		`{"weight": 2}`); code != http.StatusForbidden {
+		t.Fatalf("owner-scoped patch = %d, want 403", code)
+	}
+	if len(src2.updates) != 0 {
+		t.Fatalf("owner-scoped mount applied updates: %v", src2.updates)
 	}
 }

@@ -48,7 +48,12 @@ type JobStatus struct {
 	// FailedHosts lists the distinct hosts whose failure (crash or
 	// confirmed death — not overload) forced one of the job's tasks to
 	// move, in first-observed order. It updates live while the job runs.
-	FailedHosts []string  `json:"failed_hosts,omitempty"`
+	FailedHosts []string `json:"failed_hosts,omitempty"`
+	// Recovered marks a job re-adopted from the durable store after a
+	// control-plane restart: it was queued or in flight when the previous
+	// incarnation died and was re-admitted (and, if in flight,
+	// re-dispatched) on boot.
+	Recovered   bool      `json:"recovered,omitempty"`
 	Deadline    time.Time `json:"deadline,omitzero"`
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitzero"`
@@ -113,6 +118,9 @@ type OwnerUsage struct {
 type OwnerStatus struct {
 	Owner  string `json:"owner"`
 	Weight int    `json:"weight"`
+	// WeightPinned marks a weight set through the owner-admin endpoint:
+	// it no longer follows the owner's submissions and survives restarts.
+	WeightPinned bool `json:"weight_pinned,omitempty"`
 	// Quota limits; zero means unlimited and is omitted from JSON.
 	MaxQueued   int        `json:"max_queued,omitempty"`
 	MaxInFlight int        `json:"max_in_flight,omitempty"`
@@ -125,6 +133,23 @@ type OwnerStatus struct {
 	RateRPS       float64 `json:"rate_rps,omitempty"`
 	RateBurst     int     `json:"rate_burst,omitempty"`
 	RateThrottled uint64  `json:"rate_throttled,omitempty"`
+}
+
+// OwnerUpdate is a partial owner-admin change (PATCH /v1/owners/{owner}):
+// nil fields are left untouched. Weight pins the owner's fair-share
+// weight; the Max* fields install a per-owner quota override (0 = that
+// cap unlimited).
+type OwnerUpdate struct {
+	Weight      *int `json:"weight,omitempty"`
+	MaxQueued   *int `json:"max_queued,omitempty"`
+	MaxInFlight *int `json:"max_in_flight,omitempty"`
+	MaxHosts    *int `json:"max_hosts,omitempty"`
+}
+
+// Empty reports whether the update changes nothing (a request error on
+// the admin surface).
+func (u OwnerUpdate) Empty() bool {
+	return u.Weight == nil && u.MaxQueued == nil && u.MaxInFlight == nil && u.MaxHosts == nil
 }
 
 // JobBoard is the monitoring view of the submission pipeline: the

@@ -2,10 +2,12 @@ package vdce
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vdce/internal/afg"
@@ -13,6 +15,7 @@ import (
 	"vdce/internal/exec"
 	"vdce/internal/jobsapi"
 	"vdce/internal/services"
+	"vdce/internal/store"
 )
 
 // PipelineConfig sizes the concurrent submission pipeline. Zero fields
@@ -273,8 +276,15 @@ type Job struct {
 	hostParked bool
 	// deadline bounds the job's lifetime; zero means none.
 	deadline time.Time
-	// enqueued is when the job entered the admission queue.
+	// enqueued is when the job entered the admission queue. For jobs
+	// re-adopted from the durable store this is the original submission
+	// time, so the aging rank — and with it the within-owner dequeue
+	// order — carries across the restart unchanged.
 	enqueued time.Time
+	// recovered marks a job that was in flight when a previous
+	// incarnation of the control plane died and was re-adopted from the
+	// durable store on boot (immutable after registration).
+	recovered bool
 	board    *services.JobBoard
 	pipe     *pipeline
 	done     chan struct{}
@@ -496,6 +506,7 @@ func (j *Job) statusSnapshot() services.JobStatus {
 		Labels:      j.Labels,
 		Reschedules: j.reschedules,
 		FailedHosts: append([]string(nil), j.failedHosts...),
+		Recovered:   j.recovered,
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
 		FinishedAt:  j.finished,
@@ -552,6 +563,9 @@ func (j *Job) claimForScheduling() bool {
 	j.state = JobScheduling
 	j.mu.Unlock()
 	j.publish()
+	if j.pipe != nil {
+		j.pipe.persistState(j)
+	}
 	return true
 }
 
@@ -577,6 +591,9 @@ func (j *Job) transition(s JobState) {
 	}
 	j.mu.Unlock()
 	j.publish()
+	if j.pipe != nil {
+		j.pipe.persistState(j)
+	}
 }
 
 // setTable records the scheduling artifact.
@@ -612,6 +629,9 @@ func (j *Job) terminalize(state JobState, err error, res *exec.Result) bool {
 		j.pipe.jobReleased(j)
 	}
 	j.publish()
+	if j.pipe != nil {
+		j.pipe.persistState(j)
+	}
 	close(j.done)
 	return true
 }
@@ -655,6 +675,17 @@ type pipeline struct {
 	// lifecycle publication and engine recovery event fans out here with
 	// a monotonic cursor.
 	events *jobsapi.Broker
+	// store is the durable control-plane log (nil = in-memory only, the
+	// pre-StoreDir behavior byte for byte).
+	store *store.Store
+	// stopping suppresses persistence of shutdown-induced terminal
+	// transitions: jobs failed with ErrPipelineClosed by a graceful stop
+	// stay queued/running in the log, exactly what the next boot should
+	// re-adopt.
+	stopping atomic.Bool
+	// recovery reports what the boot replay did (immutable after
+	// startPipeline returns).
+	recovery RecoveryReport
 
 	workerWG sync.WaitGroup // scheduler workers
 
@@ -679,32 +710,241 @@ type siteSvc struct {
 	remotes []core.SiteService
 }
 
+// RecoveryReport summarizes what the boot replay of a durable store
+// did: how many queued jobs were re-admitted, how many in-flight jobs
+// were re-dispatched through the scheduling path, and how many terminal
+// jobs were retained for the listing surfaces.
+type RecoveryReport struct {
+	// QueuedRecovered is how many jobs that were queued at the crash
+	// were re-admitted with owner, priority, deadline, and share weight
+	// intact.
+	QueuedRecovered int
+	// InFlightRedispatched is how many scheduling/running jobs were
+	// re-adopted: re-queued at their original aging rank and
+	// re-dispatched through a fresh scheduling round (their previous
+	// partial progress died with the old incarnation's engine).
+	InFlightRedispatched int
+	// TerminalRetained is how many done/failed/canceled jobs were
+	// restored to the board and listing surfaces.
+	TerminalRetained int
+}
+
 // startPipeline launches the worker pool. ctx is the environment's
 // lifetime context; cancellation stops the workers and fails queued and
-// running jobs.
-func startPipeline(ctx context.Context, env *Environment, cfg PipelineConfig) *pipeline {
+// running jobs. A non-nil st makes the pipeline durable: every
+// lifecycle transition appends to it, and the state it recovered at
+// Open is replayed — queued jobs back into the admission heaps,
+// in-flight jobs re-dispatched, terminal jobs onto the board — before
+// any worker runs.
+func startPipeline(ctx context.Context, env *Environment, cfg PipelineConfig, st *store.Store) *pipeline {
 	cfg.fillDefaults()
 	p := &pipeline{
-		env:   env,
-		cfg:   cfg,
-		ctx:   ctx,
-		admit: newAdmitQueue(cfg.AgingStep, cfg.Quota),
-		slots: make(chan struct{}, cfg.QueueDepth),
-		// One wakeup token per possible queued job: a lost wakeup could
-		// otherwise leave a job queued while a worker sleeps. Stale tokens
-		// only cost an idle worker one empty pop.
-		notify: make(chan struct{}, cfg.QueueDepth),
+		env:    env,
+		cfg:    cfg,
+		ctx:    ctx,
+		admit:  newAdmitQueue(cfg.AgingStep, cfg.Quota),
 		runSem: make(chan struct{}, cfg.MaxConcurrentRuns),
 		start:  time.Now(),
-		events: jobsapi.NewBroker(cfg.EventBuffer),
+		store:  st,
 		svc:    make(map[int]*siteSvc),
 		byID:   make(map[string]*Job),
+	}
+	var adopt []*Job
+	if st != nil {
+		// The broker resumes above the persisted high-water cursor, so
+		// every cursor issued before the crash is strictly below every new
+		// one and a stale Last-Event-ID resume is detected as a gap (the
+		// stream handlers re-synchronize the client) instead of silently
+		// replaying the wrong events.
+		p.events = jobsapi.NewBrokerAt(cfg.EventBuffer, st.EventCursor(), func(cur uint64) {
+			st.NoteEventCursor(cur)
+		})
+		adopt = p.loadRecovered(st.Recovered())
+	} else {
+		p.events = jobsapi.NewBroker(cfg.EventBuffer)
+	}
+	// Queue capacity: the configured depth plus one slot per re-adopted
+	// job, so recovery never deadlocks on its own backpressure when the
+	// crash left more jobs queued than QueueDepth.
+	p.slots = make(chan struct{}, cfg.QueueDepth+len(adopt))
+	// One wakeup token per possible queued job: a lost wakeup could
+	// otherwise leave a job queued while a worker sleeps. Stale tokens
+	// only cost an idle worker one empty pop.
+	p.notify = make(chan struct{}, cfg.QueueDepth+len(adopt))
+	// Seed the admission heaps before any worker starts: adopt in
+	// canonical submission order so seq tie-breaks reproduce the
+	// pre-crash within-owner order exactly.
+	for _, job := range adopt {
+		p.slots <- struct{}{}
+		p.admit.adoptQueued(job)
+		if !job.deadline.IsZero() {
+			job.mu.Lock()
+			job.expiry = time.AfterFunc(time.Until(job.deadline), job.expireQueued)
+			job.mu.Unlock()
+		}
+		if job.recovered {
+			// In-flight at the crash: announce the re-adoption on the
+			// stream so subscribers see the job return to the queue.
+			job.publishEvent(jobsapi.EventRecovered)
+		} else {
+			job.publish()
+		}
 	}
 	for w := 0; w < cfg.SchedulerWorkers; w++ {
 		p.workerWG.Add(1)
 		go p.worker()
 	}
 	return p
+}
+
+// loadRecovered folds the store's recovered state into the pipeline:
+// owner-admin records into the admission queue, terminal jobs onto the
+// board, and queued/in-flight jobs into handles ready for adoption —
+// returned in canonical submission order. Runs before any worker
+// starts, so no locks race it.
+func (p *pipeline) loadRecovered(rs *store.State) []*Job {
+	for _, rec := range rs.Owners {
+		var caps *QuotaConfig
+		if rec.HasCaps {
+			caps = &QuotaConfig{
+				MaxQueuedPerOwner:   rec.MaxQueued,
+				MaxInFlightPerOwner: rec.MaxInFlight,
+				MaxHostsPerOwner:    rec.MaxHosts,
+			}
+		}
+		p.admit.setOwnerAdmin(rec.Owner, rec.Weight, caps)
+	}
+	var adopt []*Job
+	for _, rec := range rs.SortedJobs() {
+		job := &Job{
+			ID:          rec.ID,
+			Owner:       rec.Owner,
+			K:           rec.K,
+			Labels:      rec.Labels,
+			home:        rec.Home,
+			priority:    rec.Priority,
+			shareWeight: clampShareWeight(rec.ShareWeight),
+			deadline:    rec.Deadline,
+			board:       p.env.Board,
+			pipe:        p,
+			done:        make(chan struct{}),
+			cancelCh:    make(chan struct{}),
+			submitted:   rec.SubmittedAt,
+			enqueued:    rec.SubmittedAt,
+			started:     rec.StartedAt,
+			finished:    rec.FinishedAt,
+		}
+		if job.home < 0 || job.home >= len(p.env.Sites) {
+			// The testbed may be configured differently than the one the
+			// job was submitted to; fall back to the accounts site.
+			job.home = 0
+		}
+		g, gerr := afg.DecodeJSON(rec.Graph)
+		if g != nil {
+			job.Graph = g
+		} else {
+			// A handle must always carry a graph (statusSnapshot reads its
+			// name); an undecodable one terminalizes below.
+			job.Graph = afg.NewGraph(rec.ID)
+		}
+		terminal := true
+		switch {
+		case gerr != nil:
+			job.state = JobFailed
+			job.err = fmt.Errorf("vdce: recovered job graph: %w", gerr)
+		case rec.State == services.JobStateDone:
+			// The result payload is not persisted — Result() is nil after
+			// a restart — but the terminal status survives.
+			job.state = JobDone
+		case rec.State == services.JobStateCanceled:
+			job.state = JobCanceled
+			job.err = ErrJobCanceled
+		case rec.State == services.JobStateFailed:
+			job.state = JobFailed
+			if rec.Error != "" {
+				job.err = errors.New(rec.Error)
+			} else {
+				job.err = errors.New("vdce: job failed before restart")
+			}
+		default:
+			// Queued, scheduling, or running at the crash: re-adopt as
+			// queued. In-flight jobs lost their partial progress with the
+			// old engine; they re-schedule and re-execute from scratch.
+			terminal = false
+			job.state = JobQueued
+			job.recovered = rec.State != services.JobStateQueued
+			job.started = time.Time{}
+		}
+		if terminal {
+			if job.finished.IsZero() {
+				job.finished = rec.SubmittedAt
+			}
+			close(job.done)
+			p.recovery.TerminalRetained++
+			// Restore the board row without publishing a stream event: a
+			// reboot is not a lifecycle transition.
+			p.env.Board.Update(job.statusSnapshot())
+		} else {
+			if job.recovered {
+				p.recovery.InFlightRedispatched++
+			} else {
+				p.recovery.QueuedRecovered++
+			}
+			adopt = append(adopt, job)
+		}
+		p.jobs = append(p.jobs, job)
+		p.byID[job.ID] = job
+	}
+	sort.Slice(p.jobs, func(i, j int) bool { return canonicalBefore(p.jobs[i], p.jobs[j]) })
+	sort.Slice(adopt, func(i, j int) bool { return canonicalBefore(adopt[i], adopt[j]) })
+	p.nextID = rs.MaxJobSeq
+	return adopt
+}
+
+// persistSubmitted appends a new job's full record to the durable log.
+// Store appends are best effort on this path: an I/O error is sticky in
+// the log and surfaces on Sync/Close, while the in-memory pipeline
+// keeps serving.
+func (p *pipeline) persistSubmitted(j *Job) {
+	if p.store == nil {
+		return
+	}
+	graph, err := json.Marshal(j.Graph)
+	if err != nil {
+		return
+	}
+	_ = p.store.JobSubmitted(store.JobRecord{
+		ID:          j.ID,
+		Owner:       j.Owner,
+		Graph:       graph,
+		K:           j.K,
+		Home:        j.home,
+		Priority:    j.priority,
+		ShareWeight: j.shareWeight,
+		Labels:      j.Labels,
+		Deadline:    j.deadline,
+		SubmittedAt: j.submitted,
+		State:       services.JobStateQueued,
+	})
+}
+
+// persistState appends a job's lifecycle transition to the durable log.
+// Suppressed while the pipeline is stopping: a graceful shutdown fails
+// in-flight jobs with ErrPipelineClosed, but durably they remain
+// queued/running — exactly the state the next boot re-adopts them from.
+func (p *pipeline) persistState(j *Job) {
+	if p.store == nil || p.stopping.Load() {
+		return
+	}
+	j.mu.Lock()
+	state := j.state.String()
+	errMsg := ""
+	if j.err != nil {
+		errMsg = j.err.Error()
+	}
+	started, finished := j.started, j.finished
+	j.mu.Unlock()
+	_ = p.store.JobState(j.ID, state, errMsg, started, finished)
 }
 
 // submitSpec is a fully resolved submission (options applied).
@@ -780,6 +1020,7 @@ func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
 	}
 	p.byID[job.ID] = job
 	p.mu.Unlock()
+	p.persistSubmitted(job)
 	p.pruneRetained()
 	job.publish()
 	p.gauge()
@@ -1126,6 +1367,11 @@ func (p *pipeline) gauge() {
 // stop fails every queued job and waits for in-flight work to settle.
 // The environment context must already be canceled.
 func (p *pipeline) stop() {
+	// Durability first: from here on, shutdown-induced terminal states
+	// (ErrPipelineClosed) are not persisted — queued and running jobs
+	// remain recoverable in the log, which is what the next boot
+	// re-adopts.
+	p.stopping.Store(true)
 	// Refuse new admissions first: any job registered before this point
 	// is visible to allSettled below, so the drain loop will fail it.
 	p.mu.Lock()
@@ -1179,6 +1425,11 @@ func (p *pipeline) pruneRetained() {
 	p.mu.Unlock()
 	for _, id := range evicted {
 		p.env.Board.Delete(id)
+		if p.store != nil {
+			// Deletion records keep the durable log's mirror bounded by the
+			// same retention policy as the in-memory board.
+			_ = p.store.JobDeleted(id)
+		}
 	}
 }
 
@@ -1401,7 +1652,6 @@ func (env *Environment) ListJobsAfter(owner, state string, after jobsapi.Cursor,
 func (env *Environment) Owners() []services.OwnerStatus {
 	usages := env.Board.OwnerUsages()
 	weights := env.pipe.admit.ownerWeights()
-	quota := env.pipe.cfg.Quota
 	names := make([]string, 0, len(usages)+len(weights))
 	for o := range usages {
 		names = append(names, o)
@@ -1414,16 +1664,74 @@ func (env *Environment) Owners() []services.OwnerStatus {
 	sort.Strings(names)
 	out := make([]services.OwnerStatus, 0, len(names))
 	for _, o := range names {
-		out = append(out, services.OwnerStatus{
-			Owner:       o,
-			Weight:      clampShareWeight(weights[o]),
-			MaxQueued:   quota.MaxQueuedPerOwner,
-			MaxInFlight: quota.MaxInFlightPerOwner,
-			MaxHosts:    quota.MaxHostsPerOwner,
-			Usage:       usages[o],
-		})
+		out = append(out, env.ownerStatus(o, usages[o]))
 	}
 	return out
+}
+
+// ownerStatus builds one owner's /v1/owners row from the admission
+// queue's effective admin state (per-owner overrides included).
+func (env *Environment) ownerStatus(owner string, usage services.OwnerUsage) services.OwnerStatus {
+	weight, pinned, caps, _ := env.pipe.admit.ownerAdmin(owner)
+	return services.OwnerStatus{
+		Owner:        owner,
+		Weight:       clampShareWeight(weight),
+		WeightPinned: pinned,
+		MaxQueued:    caps.MaxQueuedPerOwner,
+		MaxInFlight:  caps.MaxInFlightPerOwner,
+		MaxHosts:     caps.MaxHostsPerOwner,
+		Usage:        usage,
+	}
+}
+
+// UpdateOwner applies a runtime owner-admin change: a provided weight
+// pins the owner's fair-share weight (submissions no longer move it),
+// and any provided quota field installs a per-owner cap override
+// merged over the owner's current effective caps (0 = that cap
+// unlimited). The change takes effect on the live admission queue
+// immediately — parked dispatches re-check against the new caps — and
+// is persisted to the durable store when one is configured, so it
+// survives restarts. Returns the owner's refreshed status.
+func (env *Environment) UpdateOwner(owner string, upd services.OwnerUpdate) (services.OwnerStatus, error) {
+	if upd.Empty() {
+		return services.OwnerStatus{}, errors.New("vdce: empty owner update")
+	}
+	_, _, cur, hadOverride := env.pipe.admit.ownerAdmin(owner)
+	weight := 0
+	if upd.Weight != nil {
+		weight = clampShareWeight(*upd.Weight)
+	}
+	var caps *QuotaConfig
+	if hadOverride || upd.MaxQueued != nil || upd.MaxInFlight != nil || upd.MaxHosts != nil {
+		merged := cur
+		if upd.MaxQueued != nil {
+			merged.MaxQueuedPerOwner = *upd.MaxQueued
+		}
+		if upd.MaxInFlight != nil {
+			merged.MaxInFlightPerOwner = *upd.MaxInFlight
+		}
+		if upd.MaxHosts != nil {
+			merged.MaxHostsPerOwner = *upd.MaxHosts
+		}
+		caps = &merged
+	}
+	env.pipe.admit.setOwnerAdmin(owner, weight, caps)
+	// A raised cap may make a parked owner poppable again.
+	env.pipe.wake()
+	if env.pipe.store != nil {
+		w, pinned, eff, override := env.pipe.admit.ownerAdmin(owner)
+		rec := store.OwnerRecord{Owner: owner, HasCaps: override}
+		if pinned {
+			rec.Weight = w
+		}
+		if override {
+			rec.MaxQueued = eff.MaxQueuedPerOwner
+			rec.MaxInFlight = eff.MaxInFlightPerOwner
+			rec.MaxHosts = eff.MaxHostsPerOwner
+		}
+		_ = env.pipe.store.OwnerUpdated(rec)
+	}
+	return env.ownerStatus(owner, env.Board.OwnerUsages()[owner]), nil
 }
 
 // Job returns the live status of one submitted job.

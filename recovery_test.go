@@ -1,0 +1,344 @@
+package vdce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"vdce/internal/afg"
+	"vdce/internal/services"
+	"vdce/internal/testbed"
+)
+
+// spinJobGraph builds a one-task graph over the catalog's Spin task,
+// busy-working for roughly ms milliseconds of base-processor time — the
+// knob the restart tests use to hold a job in the running state.
+func spinJobGraph(name string, ms int) *afg.Graph {
+	g := afg.NewGraph(name)
+	id := g.AddTask("Spin", "util", 0, 1)
+	g.Tasks[id].Props.Args = map[string]string{"ms": fmt.Sprint(ms)}
+	return g
+}
+
+// durableCfg is the restart tests' shared configuration: a small
+// two-site testbed and a deliberately serialized pipeline (one worker,
+// one run slot) so the pre-crash mix of queued/in-flight jobs is
+// deterministic.
+func durableCfg(dir string) Config {
+	return Config{
+		Testbed:  testbed.Config{Sites: 2, HostsPerGroup: 3, Seed: 11, BaseLoadMax: 0.2},
+		Pipeline: PipelineConfig{SchedulerWorkers: 1, MaxConcurrentRuns: 1},
+		StoreDir: dir,
+	}
+}
+
+// waitState polls until the job reaches the wanted state or the timeout
+// expires.
+func waitState(t *testing.T, job *Job, want JobState) {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if job.State() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %v (state %v, err %v)", job.ID, want, job.State(), job.Err())
+}
+
+// TestCrashRestartRecovery is the durability subsystem's end-to-end
+// contract: a control plane holding a mix of done, running, and queued
+// jobs dies without a graceful flush (SIGKILL-equivalent), and a second
+// incarnation on the same store re-admits 100% of the queued jobs with
+// owner, priority, share weight, deadline, and labels intact — and in
+// the same within-owner dispatch order — re-dispatches the in-flight
+// job to a terminal state, and retains the terminal one.
+func TestCrashRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	env, err := New(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// One job driven to done before the crash.
+	doneJob, err := env.Submit(ctx, spinJobGraph("pre-done", 1), WithOwner("bob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := doneJob.Wait(ctx); err != nil {
+		t.Fatalf("pre-crash job: %v", err)
+	}
+
+	// One job held in the running state across the crash window.
+	runningJob, err := env.Submit(ctx, spinJobGraph("pre-running", 2500), WithOwner("bob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, runningJob, JobRunning)
+
+	// A backlog for one owner with distinct admission parameters. The
+	// single worker is parked behind the running job's run slot, so at
+	// most one of these leaves the queued state before the crash.
+	deadline := time.Now().Add(time.Hour).Truncate(time.Millisecond)
+	labels := map[string]string{"team": "ops"}
+	priorities := []int{5, 1, 3, 9}
+	queued := make([]*Job, len(priorities))
+	for i, prio := range priorities {
+		opts := []SubmitOption{
+			WithOwner("alice"), WithPriority(prio), WithShareWeight(4),
+		}
+		if i == 0 {
+			opts = append(opts, WithDeadline(deadline), WithLabels(labels))
+		}
+		queued[i], err = env.Submit(ctx, spinJobGraph(fmt.Sprintf("backlog-%d", i), 1), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	doneID, runningID := doneJob.ID, runningJob.ID
+	env.Crash()
+
+	env2, err := New(durableCfg(dir))
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer env2.Close()
+
+	rep := env2.Recovery()
+	total := rep.QueuedRecovered + rep.InFlightRedispatched + rep.TerminalRetained
+	if total != 2+len(queued) {
+		t.Fatalf("recovery covered %d jobs, want %d: %+v", total, 2+len(queued), rep)
+	}
+	if rep.TerminalRetained != 1 {
+		t.Fatalf("TerminalRetained = %d, want 1: %+v", rep.TerminalRetained, rep)
+	}
+	if rep.InFlightRedispatched < 1 {
+		t.Fatalf("InFlightRedispatched = %d, want >= 1: %+v", rep.InFlightRedispatched, rep)
+	}
+	if rep.QueuedRecovered+rep.InFlightRedispatched != 1+len(queued) {
+		t.Fatalf("non-terminal recovery = %d, want %d: %+v",
+			rep.QueuedRecovered+rep.InFlightRedispatched, 1+len(queued), rep)
+	}
+
+	// The done job is retained with its terminal status.
+	if s, ok := env2.Job(doneID); !ok || s.State != services.JobStateDone {
+		t.Fatalf("retained done job = %+v (found %v)", s, ok)
+	}
+	// The in-flight job is re-adopted, marked recovered, and re-dispatched.
+	if s, ok := env2.Job(runningID); !ok || !s.Recovered {
+		t.Fatalf("re-adopted running job = %+v (found %v)", s, ok)
+	}
+
+	// Admission parameters survive byte for byte.
+	for i, j := range queued {
+		s, ok := env2.Job(j.ID)
+		if !ok {
+			t.Fatalf("queued job %s lost in recovery", j.ID)
+		}
+		if s.Owner != "alice" || s.Priority != priorities[i] || s.ShareWeight != 4 {
+			t.Fatalf("job %s recovered as %+v, want owner=alice priority=%d weight=4",
+				j.ID, s, priorities[i])
+		}
+		if i == 0 {
+			if !s.Deadline.Equal(deadline) {
+				t.Fatalf("job %s deadline = %v, want %v", j.ID, s.Deadline, deadline)
+			}
+			if s.Labels["team"] != "ops" {
+				t.Fatalf("job %s labels = %v, want team=ops", j.ID, s.Labels)
+			}
+		}
+	}
+
+	// A post-restart submission must not collide with recovered IDs.
+	fresh, err := env2.Submit(ctx, spinJobGraph("post-restart", 1), WithOwner("alice"), WithPriority(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, clash := env.pipe.byID[fresh.ID]; clash {
+		t.Fatalf("post-restart job reused ID %s", fresh.ID)
+	}
+
+	drainCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	if err := env2.Drain(drainCtx); err != nil {
+		t.Fatalf("post-restart drain: %v", err)
+	}
+	for _, id := range append([]string{runningID, fresh.ID}, jobIDs(queued)...) {
+		s, ok := env2.Job(id)
+		if !ok || s.State != services.JobStateDone {
+			t.Fatalf("job %s after drain = %+v (found %v)", id, s, ok)
+		}
+	}
+
+	// Within one owner the recovered backlog drains in the pre-crash
+	// dispatch order: priority descending (aging differences are dwarfed
+	// by the 30s-per-level step). Completion order is dispatch order
+	// because the pipeline is fully serialized.
+	finished := make([]*Job, len(queued))
+	copy(finished, queued)
+	sort.Slice(finished, func(a, b int) bool {
+		sa, _ := env2.Job(finished[a].ID)
+		sb, _ := env2.Job(finished[b].ID)
+		return sa.FinishedAt.Before(sb.FinishedAt)
+	})
+	var got []int
+	for _, j := range finished {
+		s, _ := env2.Job(j.ID)
+		got = append(got, s.Priority)
+	}
+	if !sort.IsSorted(sort.Reverse(sort.IntSlice(got))) {
+		t.Fatalf("recovered backlog completed in priority order %v, want descending", got)
+	}
+}
+
+func jobIDs(jobs []*Job) []string {
+	ids := make([]string, len(jobs))
+	for i, j := range jobs {
+		ids[i] = j.ID
+	}
+	return ids
+}
+
+// TestGracefulRestartRecovery checks the Close-side contract: a
+// graceful shutdown fails in-flight work with ErrPipelineClosed in
+// memory, but durably those jobs stay queued/running (persistence of
+// shutdown-induced terminals is suppressed), so the next boot re-adopts
+// them. It also checks the event-stream restart contract: the new
+// broker's cursors start above every pre-restart cursor, and a stale
+// Last-Event-ID resume is detected as a gap instead of silently
+// replaying the wrong events.
+func TestGracefulRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	env, err := New(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	runningJob, err := env.Submit(ctx, spinJobGraph("g-running", 2500), WithOwner("bob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, runningJob, JobRunning)
+	var queued []*Job
+	for i := 0; i < 3; i++ {
+		j, err := env.Submit(ctx, spinJobGraph(fmt.Sprintf("g-backlog-%d", i), 1), WithOwner("alice"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, j)
+	}
+	preCursor := env.pipe.events.Cursor()
+	env.Close()
+
+	// In memory the graceful stop failed them; durably they are still
+	// queued/running.
+	if err := runningJob.Err(); err == nil {
+		t.Fatal("running job reported success despite shutdown")
+	}
+
+	env2, err := New(durableCfg(dir))
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer env2.Close()
+	rep := env2.Recovery()
+	if rep.QueuedRecovered+rep.InFlightRedispatched != 1+len(queued) {
+		t.Fatalf("graceful restart recovered %+v, want %d non-terminal jobs", rep, 1+len(queued))
+	}
+
+	// The restarted broker's first cursor is strictly above every cursor
+	// the previous incarnation issued...
+	if got := env2.pipe.events.Cursor(); got <= preCursor {
+		t.Fatalf("restarted broker cursor = %d, want > pre-restart %d", got, preCursor)
+	}
+	// ...so a client resuming with a pre-restart cursor is told it missed
+	// events (the SSE layer then sends its reset comment and a snapshot)
+	// rather than silently resuming with a gap.
+	sub, _, missed := env2.pipe.events.Subscribe(preCursor, 1, nil)
+	sub.Close()
+	if !missed {
+		t.Fatal("stale pre-restart cursor resumed without a gap signal")
+	}
+
+	drainCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	if err := env2.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, j := range append(queued, runningJob) {
+		s, ok := env2.Job(j.ID)
+		if !ok || s.State != services.JobStateDone {
+			t.Fatalf("job %s after graceful restart = %+v (found %v)", j.ID, s, ok)
+		}
+	}
+}
+
+// TestOwnerAdminPersistsAcrossRestart drives the PATCH-backed owner
+// admin path through Environment.UpdateOwner, restarts gracefully, and
+// checks the pinned weight and quota override both survive and are
+// enforced by the recovered admission queue.
+func TestOwnerAdminPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	env, err := New(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	weight, maxQueued := 7, 2
+	s, err := env.UpdateOwner("alice", services.OwnerUpdate{Weight: &weight, MaxQueued: &maxQueued})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Weight != 7 || !s.WeightPinned || s.MaxQueued != 2 {
+		t.Fatalf("UpdateOwner returned %+v", s)
+	}
+	if _, err := env.UpdateOwner("alice", services.OwnerUpdate{}); err == nil {
+		t.Fatal("empty owner update accepted")
+	}
+	env.Close()
+
+	env2, err := New(durableCfg(dir))
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer env2.Close()
+	var found bool
+	for _, o := range env2.Owners() {
+		if o.Owner == "alice" {
+			found = true
+			if o.Weight != 7 || !o.WeightPinned || o.MaxQueued != 2 {
+				t.Fatalf("recovered owner admin = %+v", o)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("owner admin record lost across restart")
+	}
+
+	// The recovered cap is live: hold the single worker busy so alice's
+	// submissions stay queued, then exceed the recovered MaxQueued of 2.
+	ctx := context.Background()
+	hold, err := env2.Submit(ctx, spinJobGraph("hold", 2500), WithOwner("bob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, hold, JobRunning)
+	for i := 0; i < 2; i++ {
+		if _, err := env2.Submit(ctx, spinJobGraph(fmt.Sprintf("capped-%d", i), 1), WithOwner("alice")); err != nil {
+			t.Fatalf("submission %d under the cap rejected: %v", i, err)
+		}
+	}
+	if _, err := env2.Submit(ctx, spinJobGraph("over-cap", 1), WithOwner("alice")); !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("over-cap submission error = %v, want ErrQuotaExceeded", err)
+	}
+	drainCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	if err := env2.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

@@ -53,6 +53,7 @@ import (
 	"vdce/internal/protocol"
 	"vdce/internal/repository"
 	"vdce/internal/services"
+	"vdce/internal/store"
 	"vdce/internal/tasklib"
 	"vdce/internal/testbed"
 )
@@ -96,6 +97,18 @@ type Config struct {
 	// Pipeline sizes the concurrent submission pipeline behind Submit.
 	// The zero value takes the PipelineConfig defaults.
 	Pipeline PipelineConfig
+	// StoreDir, when non-empty, makes the control plane durable: job
+	// lifecycle, per-owner admin state, task-performance history, and the
+	// event stream's high-water mark are logged to an append-only store
+	// under this directory (internal/store), and a restarting Environment
+	// replays it — queued jobs re-enter the admission queue with owner,
+	// priority, deadline, and share weight intact; in-flight jobs are
+	// re-adopted and re-dispatched; terminal jobs reappear on the board.
+	// Empty keeps today's purely in-memory behavior.
+	StoreDir string
+	// Store tunes the durable store (flush interval, compaction cadence)
+	// when StoreDir is set; the zero value takes the store defaults.
+	Store store.Options
 }
 
 // Environment is a fully wired VDCE instance.
@@ -114,6 +127,9 @@ type Environment struct {
 	Detector *detect.Detector
 	// Board tracks every submitted job's lifecycle for monitoring.
 	Board *services.JobBoard
+	// Store is the durable control-plane log (non-nil when
+	// Config.StoreDir was set).
+	Store *store.Store
 
 	mu            sync.Mutex // guards remoteClients
 	remoteClients []*control.RemoteSite
@@ -148,6 +164,33 @@ func New(cfg Config) (*Environment, error) {
 			return nil, err
 		}
 		env.Sites = append(env.Sites, core.NewLocalSite(site.Repo))
+	}
+
+	// Open the durable store before anything that will write to it. An
+	// unreadable log (including mid-log corruption, surfaced as a typed
+	// *store.CorruptError) fails the boot rather than silently dropping
+	// state.
+	var st *store.Store
+	if cfg.StoreDir != "" {
+		var err error
+		st, err = store.Open(cfg.StoreDir, cfg.Store)
+		if err != nil {
+			return nil, err
+		}
+		env.Store = st
+		// Replay the recovered task-performance history into the site
+		// repositories, so the scheduler's execution-time estimates
+		// survive the restart instead of resetting to catalog base times.
+		// Records for hosts or tasks this testbed no longer has are
+		// skipped.
+		for _, rec := range st.Recovered().Perf {
+			for _, ls := range env.Sites {
+				if _, ok := ls.Repo.Resources.View(rec.Host); ok {
+					_ = ls.Repo.TaskPerf.RecordExecution(rec.Task, rec.Host, rec.Elapsed, rec.At)
+					break
+				}
+			}
+		}
 	}
 
 	if cfg.UseRPC {
@@ -251,8 +294,16 @@ func New(cfg Config) (*Environment, error) {
 		for _, site := range env.Sites {
 			if _, ok := site.Repo.Resources.View(rec.Host); ok {
 				_ = site.Repo.TaskPerf.RecordExecution(rec.Task, rec.Host, rec.Elapsed, rec.At)
-				return
+				break
 			}
+		}
+		if env.Store != nil {
+			// Measurements feed the durable log too, so a restarted
+			// control plane schedules with learned estimates, not
+			// catalog defaults.
+			_ = env.Store.PerfMeasured(store.PerfRecord{
+				Task: rec.Task, Host: rec.Host, Elapsed: rec.Elapsed, At: rec.At,
+			})
 		}
 	}
 	if env.Detector != nil {
@@ -275,7 +326,7 @@ func New(cfg Config) (*Environment, error) {
 			go env.Detector.Run(ctx)
 		}
 	}
-	env.pipe = startPipeline(ctx, env, cfg.Pipeline)
+	env.pipe = startPipeline(ctx, env, cfg.Pipeline, st)
 	return env, nil
 }
 
@@ -349,8 +400,26 @@ func (d directReporter) ApplyRecovery(n protocol.RecoveryNotice) error {
 
 // Close stops the submission pipeline, daemons, RPC servers, and client
 // connections. Queued jobs fail with ErrPipelineClosed; running jobs are
-// canceled.
+// canceled. With a durable store configured, Close is the graceful
+// shutdown: the store compacts and fsyncs, and the shutdown-induced
+// terminal states are not persisted — durably, queued and in-flight
+// jobs remain queued/running, exactly what the next boot re-adopts.
 func (env *Environment) Close() {
+	env.shutdown(true)
+}
+
+// Crash is the SIGKILL-equivalent teardown (tests and the chaos
+// scenario's server-restart fault): everything stops, but the durable
+// store is abandoned rather than closed — no final compaction, no
+// graceful flush beyond the group-commit batch already handed to the
+// OS. Whatever the commit window had not yet accepted is lost, exactly
+// as a real crash would lose it; a new Environment on the same StoreDir
+// then exercises the true recovery path.
+func (env *Environment) Crash() {
+	env.shutdown(false)
+}
+
+func (env *Environment) shutdown(graceful bool) {
 	if env.cancel != nil {
 		env.cancel()
 	}
@@ -367,6 +436,21 @@ func (env *Environment) Close() {
 	for _, sm := range env.Managers {
 		sm.Close()
 	}
+	if env.Store != nil {
+		if graceful {
+			env.Store.Close()
+		} else {
+			env.Store.Abandon()
+		}
+	}
+}
+
+// Recovery reports what this Environment's boot replay of the durable
+// store did: queued jobs re-admitted, in-flight jobs re-dispatched,
+// terminal jobs retained. The zero report means there was no store or
+// it was empty.
+func (env *Environment) Recovery() RecoveryReport {
+	return env.pipe.recovery
 }
 
 // siteServices resolves site index i's scheduling services: its local
