@@ -18,7 +18,13 @@
 // remains. With -store-dir the control plane is durable: job lifecycle,
 // owner admin state, and learned performance history are logged to an
 // append-only store, and a restarted server re-admits queued jobs and
-// re-dispatches in-flight ones.
+// re-dispatches in-flight ones. With -shed-wait the admission queue
+// sheds instead of blocking under overload: submissions that cannot get
+// a slot in time are rejected with 503 + Retry-After, /readyz reports
+// not-ready while recovery replay drains or the shed rate is high, and
+// per-host circuit breakers (-breakers, on by default) quarantine
+// flapping hosts from placement until half-open probes succeed — state
+// visible on GET /v1/hosts.
 //
 //	vdce-server -hosts 8 -http 127.0.0.1:8470 -workers 4 -parallel 8
 //	vdce-server -hosts 8 -quota-queued 32 -quota-inflight 4
@@ -52,6 +58,7 @@ import (
 
 	"vdce"
 	"vdce/internal/chaos"
+	"vdce/internal/exec"
 	"vdce/internal/jobsapi"
 	"vdce/internal/testbed"
 )
@@ -98,7 +105,12 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 	rateBurst := fs.Int("rate-burst", 0, "per-owner API request burst capacity (0 = ceil of -rate-rps)")
 	eventBuffer := fs.Int("event-buffer", 0, "job-event replay ring size for SSE Last-Event-ID resume (0 = default 4096)")
 	storeDir := fs.String("store-dir", "", "durable control-plane store directory: job lifecycle, owner admin state, and performance history survive restarts (empty = in-memory only)")
-	chaosName := fs.String("chaos", "", "play a fault scenario against the live testbed: kill-quarter|rolling-restart|site-partition")
+	shedWait := fs.Duration("shed-wait", 0, "max time a submission may wait for an admission-queue slot before it is shed with 503 + Retry-After (0 = never shed, block indefinitely)")
+	shedRetryAfter := fs.Duration("shed-retry-after", 0, "Retry-After hint attached to shed responses (0 = default 1s)")
+	shedDeadline := fs.Bool("shed-deadline", false, "shed submissions whose deadline is infeasible even on an idle testbed (lower-bound critical-path estimate)")
+	breakers := fs.Bool("breakers", true, "run per-host circuit breakers: hosts with a high windowed failure rate are quarantined from placement until half-open probes succeed")
+	retryBudget := fs.Float64("retry-budget", 0, "engine-wide retry budget in retries/second; over-budget reschedules park until a token frees (0 = unlimited)")
+	chaosName := fs.String("chaos", "", "play a fault scenario against the live testbed: kill-quarter|rolling-restart|site-partition|flapping-host|brownout")
 	chaosSpan := fs.Duration("chaos-span", 30*time.Second, "duration the -chaos scenario is spread over")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -130,8 +142,15 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 				Burst:             *rateBurst,
 			},
 			EventBuffer: *eventBuffer,
+			Shed: vdce.ShedConfig{
+				MaxSubmitWait: *shedWait,
+				RetryAfter:    *shedRetryAfter,
+				CheckDeadline: *shedDeadline,
+			},
 		},
-		StoreDir: *storeDir,
+		StoreDir:      *storeDir,
+		StartBreakers: *breakers,
+		Retry:         exec.RetryConfig{BudgetPerSecond: *retryBudget},
 	})
 	if err != nil {
 		return err
@@ -182,6 +201,25 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 	mux.Handle("DELETE /v1/jobs/{id}", jobsV1)
 	mux.Handle("GET /v1/owners", jobsV1)
 	mux.Handle("PATCH /v1/owners/{owner}", jobsV1)
+	mux.Handle("GET /v1/hosts", jobsV1)
+	// Health probes, unauthenticated by design: /healthz answers 200
+	// while the process is up (liveness); /readyz answers 503 while the
+	// server should not take traffic — recovery replay still draining
+	// adopted jobs, or the shed rate over the configured threshold.
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		ready, reason := env.Ready()
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(map[string]string{"status": "not ready", "reason": reason})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "ready"})
+	})
 	// Legacy job lifecycle monitoring: every submission's state, straight
 	// off the environment's job board. Shares the editor's login model.
 	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -220,6 +258,8 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 	fmt.Fprintf(out, "  job-control API   : http://%s/v1/jobs\n", addr)
 	fmt.Fprintf(out, "  event stream      : http://%s/v1/events (SSE; per-job: /v1/jobs/{id}/events)\n", addr)
 	fmt.Fprintf(out, "  owners API        : http://%s/v1/owners\n", addr)
+	fmt.Fprintf(out, "  hosts API         : http://%s/v1/hosts\n", addr)
+	fmt.Fprintf(out, "  health            : http://%s/healthz, /readyz\n", addr)
 	fmt.Fprintf(out, "  hosts:\n")
 	for _, h := range env.TB.Sites[0].Hosts {
 		fmt.Fprintf(out, "    %-28s %s %s speed=%.2f mem=%dMB\n",

@@ -13,6 +13,13 @@
 //
 //	vdce-sim -family layered -tasks 24 -sites 2 -chaos kill-quarter
 //	vdce-sim -chaos site-partition -sites 3
+//	vdce-sim -chaos flapping-host -sites 2 -hosts 4
+//	vdce-sim -chaos brownout -sites 2 -hosts 4
+//
+// Chaos runs also feed a per-host circuit-breaker set from the same
+// observations the detector sees and report which hosts' breakers
+// opened — flapping-host shows the breaker quarantining a host that
+// the up/down detector alone keeps re-admitting.
 //
 // The server-restart scenario exercises the control plane instead of
 // the hosts: it boots a durable environment (Config.StoreDir), runs a
@@ -36,6 +43,7 @@ import (
 
 	"vdce"
 	"vdce/internal/afg"
+	"vdce/internal/breaker"
 	"vdce/internal/chaos"
 	"vdce/internal/core"
 	"vdce/internal/detect"
@@ -65,7 +73,7 @@ func run(args []string, out io.Writer) error {
 	policy := fs.String("policy", "vdce", "vdce|fifo|random|rrobin|minmin")
 	seed := fs.Int64("seed", 1, "seed")
 	ganttWidth := fs.Int("gantt-width", 80, "gantt chart width")
-	chaosName := fs.String("chaos", "", "fault scenario: kill-quarter|rolling-restart|site-partition|server-restart")
+	chaosName := fs.String("chaos", "", "fault scenario: kill-quarter|rolling-restart|site-partition|flapping-host|brownout|server-restart")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
@@ -292,12 +300,21 @@ func runChaos(out io.Writer, tb *testbed.Testbed, before *core.AllocationTable, 
 	// the suspicion timeout before each detector round, so silence is
 	// judged instantly instead of in wall time.
 	now := time.Unix(0, 0)
+	// Per-host circuit breakers ride the same synthetic clock and see
+	// the same per-round observations the detector does: a reachable
+	// host is a success, a dark one a failure. A host that flaps
+	// accumulates a mixed window whose failure rate trips the breaker
+	// even though the detector keeps flipping it back to healthy.
+	brk := breaker.New(breaker.Config{Now: func() time.Time { return now }})
 	detection := func() error {
 		for round := 0; round < 3; round++ {
 			now = now.Add(25 * time.Millisecond)
 			for _, h := range tb.AllHosts() {
 				if h.Reachable() {
 					det.Observe(h.Name, now)
+					brk.ReportSuccess(h.Name)
+				} else {
+					brk.ReportFailure(h.Name)
 				}
 			}
 			trs, err := det.Tick(now)
@@ -331,6 +348,14 @@ func runChaos(out io.Writer, tb *testbed.Testbed, before *core.AllocationTable, 
 	sus, conf, rec, rounds := det.Stats()
 	fmt.Fprintf(out, "detector stats: %d suspicions, %d confirmations, %d recoveries over %d rounds\n",
 		sus, conf, rec, rounds)
+	open := brk.Excluded()
+	fmt.Fprintf(out, "breakers: %d/%d open\n", len(open), len(tb.AllHosts()))
+	for _, hs := range brk.Snapshot() {
+		if hs.State != breaker.Closed.String() || hs.Opens > 0 {
+			fmt.Fprintf(out, "  breaker: %-28s %-9s rate=%.2f samples=%d opens=%d\n",
+				hs.Host, hs.State, hs.FailureRate, hs.Samples, hs.Opens)
+		}
+	}
 
 	// Reschedule on the survivors (same policy) and diff the allocations.
 	after, err := reschedule()

@@ -16,7 +16,12 @@
 // also the automatic fallback against servers without the streaming
 // endpoint. A per-owner quota rejection (HTTP 429) is rendered
 // distinctly — the server is healthy, the owner is over its cap.
-// Servers without the job pipeline (schedule-only) fall back to the
+// An overload shed (HTTP 503 with Retry-After, from the server's
+// admission control) is also distinct: the command waits out the
+// server's Retry-After hint once and retries; if the retry is shed too
+// it exits with code 75 (EX_TEMPFAIL) so scripts can tell "server
+// saturated, try later" from a failed job. Servers without the job
+// pipeline (schedule-only, 503 without Retry-After) fall back to the
 // legacy synchronous submit.
 //
 //	vdce-submit -server http://127.0.0.1:8470 -app les -n 256
@@ -45,8 +50,22 @@ import (
 	"vdce/internal/tasklib"
 )
 
+// errShed marks a submission rejected by the server's overload control
+// (503 + Retry-After) even after the one client-side retry: the server
+// is healthy but saturated, so the right move is to come back later,
+// not to treat the run as failed.
+var errShed = errors.New("server shedding load")
+
+// exitShed is the process exit code for errShed — EX_TEMPFAIL from
+// sysexits, the conventional "transient failure, retry later".
+const exitShed = 75
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errShed) {
+			log.Print(err)
+			os.Exit(exitShed)
+		}
 		log.Fatal(err)
 	}
 }
@@ -138,7 +157,11 @@ func run(args []string, out io.Writer) error {
 }
 
 // submitOne imports the graph and submits it once, preferring the
-// versioned async endpoint and watching the job to a terminal state.
+// versioned async endpoint and watching the job to a terminal state. A
+// shed submission (503 carrying Retry-After or a shed_reason — the
+// server's overload control, as opposed to the bare 503 of a
+// schedule-only server) is retried exactly once after waiting out the
+// server's hint; a second shed returns errShed.
 func submitOne(server, token string, graph *afg.Graph, body map[string]any, poll bool, say func(string, ...any)) error {
 	appID, err := importGraph(server, token, graph)
 	if err != nil {
@@ -148,48 +171,76 @@ func submitOne(server, token string, graph *afg.Graph, body map[string]any, poll
 	if err != nil {
 		return err
 	}
-	v1, code, err := request(server, token, "POST", "/v1/apps/"+appID+"/submit", payload)
-	switch code {
-	case http.StatusAccepted:
-		job, _ := v1["job"].(map[string]any)
-		id, _ := job["id"].(string)
-		if id == "" {
-			return fmt.Errorf("v1 submit returned no job id: %v", v1)
+	for attempt := 0; ; attempt++ {
+		v1, code, hdr, err := requestHdr(server, token, "POST", "/v1/apps/"+appID+"/submit", payload)
+		if code == http.StatusServiceUnavailable && (hdr.Get("Retry-After") != "" || v1["shed_reason"] != nil) {
+			reason, _ := v1["shed_reason"].(string)
+			msg, _ := v1["error"].(string)
+			if attempt == 0 {
+				wait := retryAfterDelay(hdr.Get("Retry-After"))
+				say("submission of %q shed by overload control (%s); retrying once in %v\n", graph.Name, reason, wait)
+				time.Sleep(wait)
+				continue
+			}
+			say("submission of %q shed again (%s): server saturated, try later\n", graph.Name, reason)
+			return fmt.Errorf("%w: %s (reason: %s)", errShed, msg, reason)
 		}
-		prio, _ := job["priority"].(float64)
-		say("submitted %q as %s: job %s (priority %d)\n", graph.Name, appID, id, int(prio))
-		if poll {
-			return watchJob(server, token, id, say)
+		switch code {
+		case http.StatusAccepted:
+			job, _ := v1["job"].(map[string]any)
+			id, _ := job["id"].(string)
+			if id == "" {
+				return fmt.Errorf("v1 submit returned no job id: %v", v1)
+			}
+			prio, _ := job["priority"].(float64)
+			say("submitted %q as %s: job %s (priority %d)\n", graph.Name, appID, id, int(prio))
+			if poll {
+				return watchJob(server, token, id, say)
+			}
+			return watchJobEvents(server, token, id, say)
+		case http.StatusTooManyRequests:
+			// Per-owner quota rejection: render it distinctly from job
+			// failures — the server is healthy, the owner is over its cap
+			// and should back off or raise its quota.
+			msg, _ := v1["error"].(string)
+			if msg == "" {
+				msg = "owner quota exceeded"
+			}
+			say("submission of %q rejected by owner quota: %s\n", graph.Name, msg)
+			return fmt.Errorf("owner quota exceeded: %s", msg)
+		case http.StatusNotFound, http.StatusServiceUnavailable:
+			// Schedule-only or pre-/v1 server: legacy synchronous submit.
+			legacy, lcode, lerr := request(server, token, "POST", "/apps/"+appID+"/submit", nil)
+			if lerr != nil {
+				return lerr
+			}
+			if lcode >= 300 {
+				return fmt.Errorf("POST /apps/%s/submit: %d %v", appID, lcode, legacy)
+			}
+			pretty, _ := json.MarshalIndent(legacy["result"], "", "  ")
+			say("submitted %q as %s\n%s\n", graph.Name, appID, pretty)
+			return nil
+		default:
+			if err != nil {
+				return err
+			}
+			return fmt.Errorf("POST /v1/apps/%s/submit: %d %v", appID, code, v1)
 		}
-		return watchJobEvents(server, token, id, say)
-	case http.StatusTooManyRequests:
-		// Per-owner quota rejection: render it distinctly from job
-		// failures — the server is healthy, the owner is over its cap
-		// and should back off or raise its quota.
-		msg, _ := v1["error"].(string)
-		if msg == "" {
-			msg = "owner quota exceeded"
-		}
-		say("submission of %q rejected by owner quota: %s\n", graph.Name, msg)
-		return fmt.Errorf("owner quota exceeded: %s", msg)
-	case http.StatusNotFound, http.StatusServiceUnavailable:
-		// Schedule-only or pre-/v1 server: legacy synchronous submit.
-		legacy, lcode, lerr := request(server, token, "POST", "/apps/"+appID+"/submit", nil)
-		if lerr != nil {
-			return lerr
-		}
-		if lcode >= 300 {
-			return fmt.Errorf("POST /apps/%s/submit: %d %v", appID, lcode, legacy)
-		}
-		pretty, _ := json.MarshalIndent(legacy["result"], "", "  ")
-		say("submitted %q as %s\n%s\n", graph.Name, appID, pretty)
-		return nil
-	default:
-		if err != nil {
-			return err
-		}
-		return fmt.Errorf("POST /v1/apps/%s/submit: %d %v", appID, code, v1)
 	}
+}
+
+// retryAfterDelay turns a Retry-After header (delay-seconds form) into
+// a wait, defaulting to 1s when absent or unparseable and capping at 5s
+// so a pathological hint cannot hang the client.
+func retryAfterDelay(h string) time.Duration {
+	d := time.Second
+	if secs, err := strconv.Atoi(strings.TrimSpace(h)); err == nil && secs > 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
 }
 
 // watchJobEvents subscribes to the job's Server-Sent Events stream
@@ -454,17 +505,24 @@ func importGraph(base, token string, g *afg.Graph) (string, error) {
 // body and status code. Transport failures are errors; HTTP error codes
 // are returned for the caller to interpret.
 func request(base, token, method, path string, body []byte) (map[string]any, int, error) {
+	out, code, _, err := requestHdr(base, token, method, path, body)
+	return out, code, err
+}
+
+// requestHdr is request plus the response headers, for callers that
+// interpret them (Retry-After on shed responses).
+func requestHdr(base, token, method, path string, body []byte) (map[string]any, int, http.Header, error) {
 	req, err := http.NewRequest(method, base+path, bytes.NewReader(body))
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	req.Header.Set("Authorization", "Bearer "+token)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	defer resp.Body.Close()
 	var out map[string]any
 	_ = json.NewDecoder(resp.Body).Decode(&out)
-	return out, resp.StatusCode, nil
+	return out, resp.StatusCode, resp.Header, nil
 }

@@ -44,6 +44,17 @@ const (
 	PartitionSite Action = "partition-site"
 	// HealSite reconnects a partitioned site.
 	HealSite Action = "heal-site"
+	// Flap toggles each target: up hosts crash, crashed hosts restart.
+	// A repeated Flap on one host scripts the oscillating alive/dead
+	// pattern that per-host circuit breakers exist to quarantine.
+	Flap Action = "flap"
+	// Brownout degrades the targets by Event.Load and remembers exactly
+	// which hosts it hit; BrownoutEnd restores those same hosts with the
+	// same load, unlike fractional Restore which re-picks targets.
+	Brownout Action = "brownout"
+	// BrownoutEnd lifts a previous Brownout. With no explicit targets it
+	// restores every host the injector has browned so far.
+	BrownoutEnd Action = "brownout-end"
 )
 
 // Event is one scripted fault.
@@ -100,12 +111,15 @@ type Injector struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 	log []Applied
+	// browned remembers per-host injected brownout load so BrownoutEnd
+	// restores exactly the hosts (and amounts) Brownout degraded.
+	browned map[string]float64
 }
 
 // NewInjector returns an injector whose random target choices derive
 // deterministically from seed.
 func NewInjector(tb *testbed.Testbed, seed int64) *Injector {
-	return &Injector{tb: tb, rng: rand.New(rand.NewSource(seed))}
+	return &Injector{tb: tb, rng: rand.New(rand.NewSource(seed)), browned: make(map[string]float64)}
 }
 
 // pick chooses max(1, round(frac*len(eligible))) hosts from the eligible
@@ -165,11 +179,24 @@ func (in *Injector) resolve(e Event) ([]*testbed.Host, error) {
 			if h.Failed() {
 				eligible = append(eligible, h)
 			}
+		case Flap:
+			// A flap toggles, so every host is eligible regardless of
+			// current state.
+			eligible = append(eligible, h)
+		case BrownoutEnd:
+			// Targets come from the browned memory, resolved in apply.
+			if _, ok := in.browned[h.Name]; ok {
+				eligible = append(eligible, h)
+			}
 		default:
 			if h.Reachable() {
 				eligible = append(eligible, h)
 			}
 		}
+	}
+	if e.Action == BrownoutEnd {
+		// Restore everything remembered, never a fraction of it.
+		return eligible, nil
 	}
 	return in.pick(eligible, e.Fraction), nil
 }
@@ -210,6 +237,20 @@ func (in *Injector) apply(e Event) (Applied, error) {
 			h.Partition()
 		case HealSite:
 			h.Heal()
+		case Flap:
+			if h.Failed() {
+				h.Recover()
+			} else {
+				h.Fail()
+			}
+		case Brownout:
+			h.InjectLoad(load)
+			in.browned[h.Name] += load
+		case BrownoutEnd:
+			if l, ok := in.browned[h.Name]; ok {
+				h.InjectLoad(-l)
+				delete(in.browned, h.Name)
+			}
 		default:
 			return Applied{}, fmt.Errorf("chaos: unknown action %q", e.Action)
 		}
@@ -289,6 +330,29 @@ func SitePartition(site string, cut, heal time.Duration) Scenario {
 	}}
 }
 
+// FlappingHost toggles one host up/down count times, once per period —
+// the canonical circuit-breaker workload: the host keeps coming back
+// just long enough to attract placements before dying again.
+func FlappingHost(host string, period time.Duration, count int) Scenario {
+	sc := Scenario{Name: "flapping-host"}
+	for i := 0; i < count; i++ {
+		sc.Events = append(sc.Events, Event{
+			At: time.Duration(i+1) * period, Action: Flap, Hosts: []string{host},
+		})
+	}
+	return sc
+}
+
+// BrownoutScenario degrades frac of the up hosts by load at start and
+// lifts the degradation from exactly those hosts at end — a capacity
+// brownout rather than an outage, for exercising load shedding.
+func BrownoutScenario(start, end time.Duration, frac, load float64) Scenario {
+	return Scenario{Name: "brownout", Events: []Event{
+		{At: start, Action: Brownout, Fraction: frac, Load: load},
+		{At: end, Action: BrownoutEnd},
+	}}
+}
+
 // Randomized generates a reproducible random script: n events spread
 // uniformly over span, drawn from kill/recover/degrade with small
 // fractions. The same seed always yields the same script.
@@ -340,7 +404,16 @@ func Named(name string, tb *testbed.Testbed, span time.Duration) (Scenario, erro
 		}
 		site := tb.Sites[len(tb.Sites)-1].Name
 		return SitePartition(site, span/4, span*3/4), nil
+	case "flapping-host":
+		// Flap the first host (sorted order, so deterministic) six
+		// times: three full down/up cycles within the span.
+		hosts := tb.HostNames()
+		sort.Strings(hosts)
+		const flaps = 6
+		return FlappingHost(hosts[0], span/(flaps+1), flaps), nil
+	case "brownout":
+		return BrownoutScenario(span/4, span*3/4, 0.5, 0.6), nil
 	default:
-		return Scenario{}, fmt.Errorf("chaos: unknown scenario %q (want kill-quarter|rolling-restart|site-partition)", name)
+		return Scenario{}, fmt.Errorf("chaos: unknown scenario %q (want kill-quarter|rolling-restart|site-partition|flapping-host|brownout)", name)
 	}
 }

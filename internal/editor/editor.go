@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -71,6 +72,46 @@ var ErrBadSubmission = errors.New("editor: bad submission")
 // answers 429 (back off and retry) instead of 400 or 500. Wrap with
 // fmt.Errorf("%w: ...", ErrQuotaExceeded).
 var ErrQuotaExceeded = errors.New("editor: owner quota exceeded")
+
+// ErrOverloaded marks JobSubmitter failures caused by the service
+// shedding load (full queue, infeasible deadline, quarantined hosts):
+// the whole service is backing off, not one owner, so the v1 submit
+// endpoint answers 503 with a Retry-After header — next to the 429 +
+// Retry-After per-owner quota vocabulary. Matched via errors.Is; wrap
+// in an *OverloadedError to carry the backoff hint.
+var ErrOverloaded = errors.New("editor: service overloaded")
+
+// OverloadedError carries a shed rejection's backoff hint and reason
+// through the JobSubmitter boundary to the HTTP layer.
+type OverloadedError struct {
+	// RetryAfter is the suggested client backoff, emitted as the 503's
+	// Retry-After header (rounded up to whole seconds, minimum 1).
+	RetryAfter time.Duration
+	// Reason is the shedder's machine-readable reason (e.g. queue-full),
+	// echoed in the error body.
+	Reason string
+	// Err is the underlying rejection.
+	Err error
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("%v: %v", ErrOverloaded, e.Err)
+}
+
+func (e *OverloadedError) Unwrap() error { return e.Err }
+
+// Is lets errors.Is(err, ErrOverloaded) match the typed rejection.
+func (e *OverloadedError) Is(target error) bool { return target == ErrOverloaded }
+
+// retryAfterSeconds renders a backoff hint as a Retry-After header
+// value: whole seconds, rounded up, at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
 
 // Server is the editor backend for one VDCE site.
 type Server struct {
@@ -134,6 +175,9 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle("GET /v1/jobs/{id}/events", s.Jobs)
 		mux.Handle("GET /v1/events", s.Jobs)
 		mux.Handle("/v1/owners", s.Jobs)
+		// Host health (breaker/detector state): answered by the jobs API
+		// when its source exposes hosts, 404 otherwise.
+		mux.Handle("GET /v1/hosts", s.Jobs)
 		// Owner administration is routed through so the owner-scoped API
 		// answers it with a clean 403 (the editor surface is read-only on
 		// owners) instead of a mux 404.
@@ -538,7 +582,18 @@ func (s *Server) handleSubmitV1(w http.ResponseWriter, r *http.Request, user str
 	})
 	if err != nil {
 		code := http.StatusInternalServerError
+		var oe *OverloadedError
 		switch {
+		case errors.As(err, &oe):
+			// Adaptive load shedding: the service refused the work to stay
+			// responsive. 503 + Retry-After tells the client when to come
+			// back; the reason says why it was shed.
+			w.Header().Set("Retry-After", retryAfterSeconds(oe.RetryAfter))
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+				"error":       err.Error(),
+				"shed_reason": oe.Reason,
+			})
+			return
 		case errors.Is(err, ErrQuotaExceeded):
 			code = http.StatusTooManyRequests
 		case errors.Is(err, ErrBadSubmission):

@@ -92,6 +92,11 @@ func (ac *appController) executeWithRescheduling(ctx context.Context, in []taskl
 		outs, tr, err := ac.attempt(ctx, in, placement, primary, attempt)
 		ac.app.recordRun(tr)
 		if err == nil {
+			if e.Breakers != nil {
+				for _, h := range placement.Hosts {
+					e.Breakers.ReportSuccess(h)
+				}
+			}
 			if e.Record != nil {
 				e.Record(protocol.ExecutionRecord{
 					Task: ac.task.Name, Host: primary.Name, Elapsed: tr.Elapsed, At: tr.End,
@@ -117,6 +122,9 @@ func (ac *appController) executeWithRescheduling(ctx context.Context, in []taskl
 				Host: term.host, Reason: term.reason})
 		} else {
 			ac.app.recordFailedHost(term.host)
+			if e.Breakers != nil {
+				e.Breakers.ReportFailure(term.host)
+			}
 			ac.app.emit(Event{Type: EventHostFailure, Task: ac.task.ID, TaskName: ac.task.Name,
 				Host: term.host, Reason: term.reason})
 		}
@@ -125,6 +133,12 @@ func (ac *appController) executeWithRescheduling(ctx context.Context, in []taskl
 			// scheduling pass (and its EventRescheduled — 'will re-run
 			// there' would be a lie) and report exhaustion.
 			break
+		}
+		// Retry policy: jittered exponential backoff for this task plus
+		// the engine-wide budget — a mass host failure must not turn into
+		// an immediate retry storm against the scheduler.
+		if rerr := e.retryPause(ctx, attempt); rerr != nil {
+			return nil, rerr
 		}
 		excluded[term.host] = true
 		ac.app.mu.Lock()
@@ -135,12 +149,15 @@ func (ac *appController) executeWithRescheduling(ctx context.Context, in []taskl
 		// the repository usually agrees already (the detector published
 		// the down status), but a death confirmed microseconds ago must
 		// not win the placement because the round's snapshot predates it.
+		// Open circuit breakers ride along: a flapping host the detector
+		// cannot confirm dead is quarantined from replacements too.
 		exclude := make([]string, 0, len(excluded))
 		for h := range excluded {
 			exclude = append(exclude, h)
 		}
 		sort.Strings(exclude)
 		exclude = append(exclude, e.deadHostsExcept(excluded)...)
+		exclude = append(exclude, e.breakerExcluded(excluded)...)
 		np, rerr := e.Reschedule(ac.app.g, ac.task.ID, exclude)
 		if rerr != nil {
 			return nil, fmt.Errorf("exec: reschedule task %d: %w", ac.task.ID, rerr)

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"vdce/internal/afg"
+	"vdce/internal/breaker"
 	"vdce/internal/core"
 	"vdce/internal/protocol"
 	"vdce/internal/services"
@@ -55,10 +56,23 @@ type Engine struct {
 	Reschedule func(g *afg.Graph, id afg.TaskID, exclude []string) (*core.Placement, error)
 	// MaxAttempts bounds per-task executions (default 3).
 	MaxAttempts int
+	// Retry shapes rescheduling retries: per-attempt jittered backoff
+	// plus the engine-wide token-bucket retry budget. The zero value
+	// preserves the legacy immediate-retry behavior.
+	Retry RetryConfig
+	// Breakers, when non-nil, is the per-host circuit-breaker set: the
+	// engine feeds it watchdog outcomes (failures open a flapping host's
+	// breaker, successes close it again) and merges its open hosts into
+	// every rescheduling exclusion list.
+	Breakers *breaker.Set
 	// Console gates task dispatch (suspend/resume). Optional.
 	Console *services.Console
 	// Metrics receives the task timeline for visualization. Optional.
 	Metrics *services.Metrics
+
+	// retryOnce/retry materialize Retry into the shared gate.
+	retryOnce sync.Once
+	retry     *retryGate
 
 	// lockMu guards hostLocks, the engine-wide table serializing task
 	// execution per machine. It is shared by every concurrent Execute so
@@ -160,6 +174,23 @@ func (e *Engine) deadHostsExcept(already map[string]bool) []string {
 		}
 	}
 	sort.Strings(out)
+	return out
+}
+
+// breakerExcluded returns the open-breaker hosts not already excluded:
+// the quarantine list a rescheduling request merges in so a flapping
+// host — never quiet long enough for the detector to confirm dead —
+// still stops winning placements.
+func (e *Engine) breakerExcluded(already map[string]bool) []string {
+	if e.Breakers == nil {
+		return nil
+	}
+	var out []string
+	for _, h := range e.Breakers.Excluded() {
+		if !already[h] {
+			out = append(out, h)
+		}
+	}
 	return out
 }
 

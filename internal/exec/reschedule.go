@@ -5,14 +5,37 @@ import (
 	"time"
 
 	"vdce/internal/afg"
+	"vdce/internal/breaker"
 	"vdce/internal/core"
 )
+
+// ReschedulerOption customizes NewRescheduler.
+type ReschedulerOption func(*reschedulerOpts)
+
+type reschedulerOpts struct {
+	breakers *breaker.Set
+}
+
+// WithBreakers makes the rescheduler consult the per-host circuit
+// breakers: hosts with open breakers are excluded from replacement
+// placements exactly like the caller's own exclusion list. The breaker
+// filter is advisory — if honoring it would leave no placement at all,
+// the rescheduler retries without it rather than failing the task (a
+// suspect host beats no host).
+func WithBreakers(b *breaker.Set) ReschedulerOption {
+	return func(o *reschedulerOpts) { o.breakers = b }
+}
 
 // NewRescheduler builds the Reschedule hook from the available site
 // schedulers: on a rescheduling request it re-runs host selection for
 // the single task across all sites, excluding the hosts the Application
-// Controller reported, and returns the fastest remaining placement.
-func NewRescheduler(sites []*core.LocalSite) func(*afg.Graph, afg.TaskID, []string) (*core.Placement, error) {
+// Controller reported (plus any open-breaker hosts), and returns the
+// fastest remaining placement.
+func NewRescheduler(sites []*core.LocalSite, opts ...ReschedulerOption) func(*afg.Graph, afg.TaskID, []string) (*core.Placement, error) {
+	var o reschedulerOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
 	return func(g *afg.Graph, id afg.TaskID, exclude []string) (*core.Placement, error) {
 		task := g.Task(id)
 		if task == nil {
@@ -22,45 +45,63 @@ func NewRescheduler(sites []*core.LocalSite) func(*afg.Graph, afg.TaskID, []stri
 		for _, h := range exclude {
 			bad[h] = true
 		}
-		var best *core.Placement
-		for _, site := range sites {
-			// One snapshot per site keeps the exclusion scan and the
-			// final prediction on the same view.
-			snap := site.Snapshot()
-			ranked := site.RankedHostsAt(snap, task)
-			var usable []core.RankedHost
-			for _, r := range ranked {
-				if !bad[r.Name] {
-					usable = append(usable, r)
-				}
-			}
-			if len(usable) == 0 {
-				continue
-			}
-			nodes := core.RequiredNodesAt(snap, task)
-			if len(usable) < nodes {
-				continue
-			}
-			hosts := make([]string, nodes)
-			for i := 0; i < nodes; i++ {
-				hosts[i] = usable[i].Name
-			}
-			pred, err := site.PredictSetAt(snap, task, hosts)
-			if err != nil {
-				continue
-			}
-			if best == nil || pred < best.Predicted {
-				best = &core.Placement{
-					Task: id, TaskName: task.Name, Site: site.SiteName(),
-					Hosts: hosts, Predicted: pred,
-				}
+		if best := rescheduleOnce(sites, task, id, bad, o.breakers); best != nil {
+			return best, nil
+		}
+		if o.breakers != nil {
+			// Advisory fallback: every candidate was quarantined. Place on
+			// a breaker-excluded host anyway rather than failing the task.
+			if best := rescheduleOnce(sites, task, id, bad, nil); best != nil {
+				return best, nil
 			}
 		}
-		if best == nil {
-			return nil, fmt.Errorf("exec: no host available to reschedule task %d (%s)", id, task.Name)
-		}
-		return best, nil
+		return nil, fmt.Errorf("exec: no host available to reschedule task %d (%s)", id, task.Name)
 	}
+}
+
+// rescheduleOnce runs one cross-site selection pass for task, skipping
+// hosts in bad and (when breakers is non-nil) hosts whose breaker is
+// open. It returns nil when no site can place the task.
+func rescheduleOnce(sites []*core.LocalSite, task *afg.Task, id afg.TaskID, bad map[string]bool, breakers *breaker.Set) *core.Placement {
+	var best *core.Placement
+	for _, site := range sites {
+		// One snapshot per site keeps the exclusion scan and the
+		// final prediction on the same view.
+		snap := site.Snapshot()
+		ranked := site.RankedHostsAt(snap, task)
+		var usable []core.RankedHost
+		for _, r := range ranked {
+			if bad[r.Name] {
+				continue
+			}
+			if breakers != nil && !breakers.Allow(r.Name) {
+				continue
+			}
+			usable = append(usable, r)
+		}
+		if len(usable) == 0 {
+			continue
+		}
+		nodes := core.RequiredNodesAt(snap, task)
+		if len(usable) < nodes {
+			continue
+		}
+		hosts := make([]string, nodes)
+		for i := 0; i < nodes; i++ {
+			hosts[i] = usable[i].Name
+		}
+		pred, err := site.PredictSetAt(snap, task, hosts)
+		if err != nil {
+			continue
+		}
+		if best == nil || pred < best.Predicted {
+			best = &core.Placement{
+				Task: id, TaskName: task.Name, Site: site.SiteName(),
+				Hosts: hosts, Predicted: pred,
+			}
+		}
+	}
+	return best
 }
 
 // waitForLoad is a small test helper shared by the experiments: it polls

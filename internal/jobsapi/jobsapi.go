@@ -21,6 +21,11 @@
 //	                            (site-wide mounts only; owner-scoped
 //	                            mounts answer 403 — the editor surface
 //	                            stays read-only)
+//	GET    /v1/hosts            per-host health: up/down, failure-
+//	                            detector state, and circuit-breaker
+//	                            state (closed/open/half-open with the
+//	                            windowed failure rate), when the Source
+//	                            implements HostSource
 //
 // All endpoints require authentication; the embedding server supplies
 // the session model. When Config.RateLimit is set, every request spends
@@ -136,6 +141,16 @@ type Source interface {
 	UpdateOwner(owner string, upd services.OwnerUpdate) (services.OwnerStatus, error)
 }
 
+// HostSource is the optional Source extension behind GET /v1/hosts:
+// per-host health including circuit-breaker state. Sources that do not
+// implement it simply do not get the endpoint mounted (404), so
+// existing Source implementations keep working unchanged.
+type HostSource interface {
+	// Hosts returns every testbed host's health snapshot, sorted by
+	// host name.
+	Hosts() []services.HostStatus
+}
+
 // Config wires one mount of the API.
 type Config struct {
 	// Source supplies and controls the jobs.
@@ -179,6 +194,11 @@ func Handler(cfg Config) http.Handler {
 		cfg.handleOwners(w, r, user, limiter)
 	})
 	handle("PATCH /v1/owners/{owner}", cfg.handleOwnerPatch)
+	if hs, ok := cfg.Source.(HostSource); ok {
+		handle("GET /v1/hosts", func(w http.ResponseWriter, r *http.Request, _ string) {
+			writeJSON(w, http.StatusOK, map[string]any{"hosts": hs.Hosts()})
+		})
+	}
 	return mux
 }
 

@@ -1,0 +1,28 @@
+package services
+
+// HostStatus is one testbed host's health snapshot, served by
+// GET /v1/hosts and the simulator reports: the host model's own
+// up/down, the failure detector's view (when a detector runs), and the
+// circuit breaker's state with its windowed failure rate (when breakers
+// run).
+type HostStatus struct {
+	// Host is the host name; Site the owning site.
+	Host string `json:"host"`
+	Site string `json:"site"`
+	// Up reports the host model's ground truth: not failed and
+	// reachable.
+	Up bool `json:"up"`
+	// Detector is the failure detector's state for the host
+	// (healthy/suspect/dead/recovered); empty when no detector runs or
+	// the detector has never observed the host.
+	Detector string `json:"detector,omitempty"`
+	// Breaker is the circuit-breaker state (closed/open/half-open);
+	// "closed" for hosts the breaker set has never sampled.
+	Breaker string `json:"breaker"`
+	// FailureRate and Samples are the breaker's windowed failure rate
+	// and sample count.
+	FailureRate float64 `json:"failure_rate"`
+	Samples     int     `json:"samples"`
+	// BreakerOpens counts how many times the host's breaker has opened.
+	BreakerOpens int `json:"breaker_opens"`
+}

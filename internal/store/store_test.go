@@ -15,8 +15,8 @@ var t0 = time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)
 func jobN(n int, owner, state string) JobRecord {
 	return JobRecord{
 		ID: "job-" + itoa(n), Owner: owner,
-		Graph:       json.RawMessage(`{"name":"g"}`),
-		Priority:    n, ShareWeight: 1 + n%3,
+		Graph:    json.RawMessage(`{"name":"g"}`),
+		Priority: n, ShareWeight: 1 + n%3,
 		SubmittedAt: t0.Add(time.Duration(n) * time.Second),
 		State:       state,
 	}

@@ -58,6 +58,12 @@ type PipelineConfig struct {
 	// over budget answer 429 with Retry-After). The zero value disables
 	// rate limiting.
 	APIRate jobsapi.RateLimitConfig
+	// Shed enables adaptive load shedding at admission: bounded queue
+	// waits, deadline-infeasibility estimates, and breaker-saturation
+	// rejection, all surfaced as typed *ShedError (HTTP 503 +
+	// Retry-After). The zero value keeps the legacy block-until-slot
+	// behavior.
+	Shed ShedConfig
 }
 
 func (c *PipelineConfig) fillDefaults() {
@@ -79,6 +85,7 @@ func (c *PipelineConfig) fillDefaults() {
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = jobsapi.DefaultEventBuffer
 	}
+	c.Shed.fillDefaults()
 }
 
 // JobState is a job's position in the submission lifecycle.
@@ -285,9 +292,9 @@ type Job struct {
 	// incarnation of the control plane died and was re-adopted from the
 	// durable store on boot (immutable after registration).
 	recovered bool
-	board    *services.JobBoard
-	pipe     *pipeline
-	done     chan struct{}
+	board     *services.JobBoard
+	pipe      *pipeline
+	done      chan struct{}
 	// cancelCh closes on the first Cancel call, unblocking dispatch waits.
 	cancelCh chan struct{}
 	// expiry fires while the job is still queued at its deadline, so an
@@ -315,6 +322,10 @@ type Job struct {
 	// the distinct testbed hosts this job's placement holds while it is
 	// dispatched, zeroed when it terminalizes.
 	hostsHeld int
+	// replayPending marks a job re-admitted by the boot replay that has
+	// not yet reached a scheduler worker or a terminal state; it backs
+	// the pipeline's recovery-backlog gauge behind /readyz.
+	replayPending bool
 }
 
 // State returns the job's current lifecycle state.
@@ -562,11 +573,25 @@ func (j *Job) claimForScheduling() bool {
 	}
 	j.state = JobScheduling
 	j.mu.Unlock()
+	j.noteReplayDone()
 	j.publish()
 	if j.pipe != nil {
 		j.pipe.persistState(j)
 	}
 	return true
+}
+
+// noteReplayDone clears the job's recovery-replay pending mark and
+// decrements the pipeline's replay-backlog gauge; idempotent, a no-op
+// for jobs the boot replay never touched.
+func (j *Job) noteReplayDone() {
+	j.mu.Lock()
+	pending := j.replayPending
+	j.replayPending = false
+	j.mu.Unlock()
+	if pending && j.pipe != nil {
+		j.pipe.recoveryPending.Add(-1)
+	}
 }
 
 // setRunCancel installs the running phase's cancel function. It returns
@@ -622,6 +647,7 @@ func (j *Job) terminalize(state JobState, err error, res *exec.Result) bool {
 	if expiry != nil {
 		expiry.Stop()
 	}
+	j.noteReplayDone()
 	// Return the job's in-flight and held-host quota charges before the
 	// final status publishes, so owner counters never show a terminal
 	// job as still consuming capacity.
@@ -686,6 +712,15 @@ type pipeline struct {
 	// recovery reports what the boot replay did (immutable after
 	// startPipeline returns).
 	recovery RecoveryReport
+	// shed/meter implement adaptive load shedding: shed is the
+	// normalized config, meter the sliding-window accept/shed counter
+	// behind the /readyz shed-rate gate.
+	shed  ShedConfig
+	meter *shedMeter
+	// recoveryPending counts re-admitted jobs that have not yet reached
+	// a scheduler worker (or gone terminal); /readyz reports not-ready
+	// while the replay backlog drains.
+	recoveryPending atomic.Int64
 
 	workerWG sync.WaitGroup // scheduler workers
 
@@ -727,6 +762,10 @@ type RecoveryReport struct {
 	// TerminalRetained is how many done/failed/canceled jobs were
 	// restored to the board and listing surfaces.
 	TerminalRetained int
+	// DeadlineExpiredAtReplay is how many in-flight-or-queued jobs whose
+	// deadline passed during the downtime were terminalized as
+	// deadline-exceeded at replay instead of being re-dispatched.
+	DeadlineExpiredAtReplay int
 }
 
 // startPipeline launches the worker pool. ctx is the environment's
@@ -748,7 +787,9 @@ func startPipeline(ctx context.Context, env *Environment, cfg PipelineConfig, st
 		store:  st,
 		svc:    make(map[int]*siteSvc),
 		byID:   make(map[string]*Job),
+		shed:   cfg.Shed,
 	}
+	p.meter = newShedMeter(cfg.Shed.MeterWindow, cfg.Shed.Now)
 	var adopt []*Job
 	if st != nil {
 		// The broker resumes above the persisted high-water cursor, so
@@ -774,7 +815,11 @@ func startPipeline(ctx context.Context, env *Environment, cfg PipelineConfig, st
 	// Seed the admission heaps before any worker starts: adopt in
 	// canonical submission order so seq tie-breaks reproduce the
 	// pre-crash within-owner order exactly.
+	p.recoveryPending.Store(int64(len(adopt)))
 	for _, job := range adopt {
+		job.mu.Lock()
+		job.replayPending = true
+		job.mu.Unlock()
 		p.slots <- struct{}{}
 		p.admit.adoptQueued(job)
 		if !job.deadline.IsZero() {
@@ -848,6 +893,7 @@ func (p *pipeline) loadRecovered(rs *store.State) []*Job {
 			job.Graph = afg.NewGraph(rec.ID)
 		}
 		terminal := true
+		expired := false
 		switch {
 		case gerr != nil:
 			job.state = JobFailed
@@ -866,6 +912,16 @@ func (p *pipeline) loadRecovered(rs *store.State) []*Job {
 			} else {
 				job.err = errors.New("vdce: job failed before restart")
 			}
+		case !rec.Deadline.IsZero() && !time.Now().Before(rec.Deadline):
+			// The job's deadline expired while the control plane was down:
+			// re-admitting and dispatching it would burn scheduler and host
+			// capacity on work that is already lost. Terminalize it at
+			// replay instead — with a stream event, because unlike the
+			// terminal restores below this IS a lifecycle transition.
+			job.state = JobFailed
+			job.err = ErrJobDeadlineExceeded
+			job.finished = rec.Deadline
+			expired = true
 		default:
 			// Queued, scheduling, or running at the crash: re-adopt as
 			// queued. In-flight jobs lost their partial progress with the
@@ -880,10 +936,16 @@ func (p *pipeline) loadRecovered(rs *store.State) []*Job {
 				job.finished = rec.SubmittedAt
 			}
 			close(job.done)
-			p.recovery.TerminalRetained++
-			// Restore the board row without publishing a stream event: a
-			// reboot is not a lifecycle transition.
-			p.env.Board.Update(job.statusSnapshot())
+			if expired {
+				p.recovery.DeadlineExpiredAtReplay++
+				job.publish()
+				p.persistState(job)
+			} else {
+				p.recovery.TerminalRetained++
+				// Restore the board row without publishing a stream event: a
+				// reboot is not a lifecycle transition.
+				p.env.Board.Update(job.statusSnapshot())
+			}
 		} else {
 			if job.recovered {
 				p.recovery.InFlightRedispatched++
@@ -962,6 +1024,10 @@ type submitSpec struct {
 // submit admits a job into the fair-share priority queue, blocking
 // while it is full. An owner over its queued-jobs quota is rejected
 // with a typed QuotaError before consuming any shared queue capacity.
+// With shedding enabled the blocking is bounded: estimate-based checks
+// (breaker saturation, deadline infeasibility) reject before touching
+// the queue, and a full queue sheds with a typed *ShedError after
+// Shed.MaxSubmitWait instead of parking the submitter indefinitely.
 func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
 	if err := spec.graph.Validate(); err != nil {
 		return nil, err
@@ -972,12 +1038,40 @@ func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
 	if !spec.deadline.IsZero() && !time.Now().Before(spec.deadline) {
 		return nil, ErrJobDeadlineExceeded
 	}
+	if serr := p.preAdmitShed(spec); serr != nil {
+		p.meter.record(true)
+		return nil, serr
+	}
 	// Claim the owner's queued-jobs quota first: the reservation covers
 	// the whole queued phase (including the wait for a queue slot below)
 	// and is returned when the job pops, is removed, or dies before
 	// reaching the queue.
 	if err := p.admit.reserveQueued(spec.owner); err != nil {
 		return nil, err
+	}
+	// With shedding on, the queue slot is claimed before the job handle
+	// is registered: a shed submission leaves no residue on the board,
+	// exactly like a quota rejection. The bounded wait is the shed
+	// threshold — a submitter is never blocked beyond it.
+	preSlot := false
+	if p.shed.enabled() {
+		timer := time.NewTimer(p.shed.MaxSubmitWait)
+		defer timer.Stop()
+		select {
+		case p.slots <- struct{}{}:
+			preSlot = true
+		case <-timer.C:
+			p.admit.unreserveQueued(spec.owner)
+			p.meter.record(true)
+			return nil, p.shed.shedError(ShedQueueFull,
+				fmt.Sprintf("queue of %d full for %v", p.cfg.QueueDepth, p.shed.MaxSubmitWait))
+		case <-ctx.Done():
+			p.admit.unreserveQueued(spec.owner)
+			return nil, ctx.Err()
+		case <-p.ctx.Done():
+			p.admit.unreserveQueued(spec.owner)
+			return nil, ErrPipelineClosed
+		}
 	}
 	job := &Job{
 		Owner:       spec.owner,
@@ -996,6 +1090,9 @@ func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
+		if preSlot {
+			p.releaseSlot()
+		}
 		p.admit.unreserveQueued(spec.owner)
 		return nil, ErrPipelineClosed
 	}
@@ -1024,33 +1121,36 @@ func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
 	p.pruneRetained()
 	job.publish()
 	p.gauge()
-	// Reserve a queue slot (backpressure), then enqueue. The job is
-	// visible on the board while its submitter waits, exactly like a
-	// sender blocked on a full channel.
-	select {
-	case p.slots <- struct{}{}:
-		// A cancel may have landed in the same instant the slot freed
-		// (select picks ready cases at random): never enqueue a job that
-		// is already terminal.
-		if job.canceled() {
-			p.releaseSlot()
+	if !preSlot {
+		// Reserve a queue slot (backpressure), then enqueue. The job is
+		// visible on the board while its submitter waits, exactly like a
+		// sender blocked on a full channel.
+		select {
+		case p.slots <- struct{}{}:
+		case <-ctx.Done():
+			job.terminalize(JobFailed, ctx.Err(), nil)
+			p.admit.unreserveQueued(spec.owner)
+			return nil, ctx.Err()
+		case <-p.ctx.Done():
+			job.terminalize(JobFailed, ErrPipelineClosed, nil)
+			p.admit.unreserveQueued(spec.owner)
+			return nil, ErrPipelineClosed
+		case <-job.cancelCh:
+			// Cancel won while we waited for capacity; the job is terminal.
 			p.admit.unreserveQueued(spec.owner)
 			return nil, ErrJobCanceled
 		}
-	case <-ctx.Done():
-		job.terminalize(JobFailed, ctx.Err(), nil)
-		p.admit.unreserveQueued(spec.owner)
-		return nil, ctx.Err()
-	case <-p.ctx.Done():
-		job.terminalize(JobFailed, ErrPipelineClosed, nil)
-		p.admit.unreserveQueued(spec.owner)
-		return nil, ErrPipelineClosed
-	case <-job.cancelCh:
-		// Cancel won while we waited for capacity; the job is terminal.
+	}
+	// A cancel may have landed in the same instant the slot freed
+	// (select picks ready cases at random) or while a pre-claimed slot's
+	// job registered: never enqueue a job that is already terminal.
+	if job.canceled() {
+		p.releaseSlot()
 		p.admit.unreserveQueued(spec.owner)
 		return nil, ErrJobCanceled
 	}
 	p.admit.push(job)
+	p.meter.record(false)
 	if !job.deadline.IsZero() {
 		// Drop the job at its deadline if it is still queued then, so it
 		// does not pin a queue slot or block Wait callers until a worker

@@ -342,3 +342,116 @@ func TestOwnerAdminPersistsAcrossRestart(t *testing.T) {
 		t.Fatalf("drain: %v", err)
 	}
 }
+
+// TestDeadlineExpiredAtReplay pins the recovery-replay deadline gap:
+// a job that was queued at the crash and whose deadline passed while
+// the control plane was down must be terminalized as deadline-exceeded
+// during replay — with a stream event, visible in the recovery report —
+// and must never be dispatched, instead of being re-admitted and
+// burning scheduler and host capacity on work that is already lost.
+func TestDeadlineExpiredAtReplay(t *testing.T) {
+	dir := t.TempDir()
+	env, err := New(durableCfg(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Hold the single run slot so the deadline job stays queued.
+	hold, err := env.Submit(ctx, spinJobGraph("hold", 2500), WithOwner("bob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, hold, JobRunning)
+
+	deadline := time.Now().Add(50 * time.Millisecond).Truncate(time.Millisecond)
+	doomed, err := env.Submit(ctx, spinJobGraph("doomed", 1),
+		WithOwner("alice"), WithDeadline(deadline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A sibling without a deadline must still be re-admitted normally.
+	survivor, err := env.Submit(ctx, spinJobGraph("survivor", 1), WithOwner("alice"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Crash()
+
+	// The control plane stays down past the doomed job's deadline.
+	time.Sleep(time.Until(deadline) + 20*time.Millisecond)
+
+	env2, err := New(durableCfg(dir))
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer env2.Close()
+
+	rep := env2.Recovery()
+	if rep.DeadlineExpiredAtReplay != 1 {
+		t.Fatalf("DeadlineExpiredAtReplay = %d, want 1: %+v", rep.DeadlineExpiredAtReplay, rep)
+	}
+	s, ok := env2.Job(doomed.ID)
+	if !ok {
+		t.Fatalf("expired job %s lost in recovery", doomed.ID)
+	}
+	if s.State != services.JobStateFailed || s.Error != ErrJobDeadlineExceeded.Error() {
+		t.Fatalf("expired job recovered as %+v, want failed/deadline-exceeded", s)
+	}
+	if !s.FinishedAt.Equal(deadline) {
+		t.Fatalf("expired job finished at %v, want its deadline %v", s.FinishedAt, deadline)
+	}
+
+	// The terminalization was published to the event stream (unlike
+	// plain terminal restores, which rebuild the board silently).
+	// after=1 (not 0, which subscribes to new events only) replays the
+	// retained ring: the replay-time terminalization must be in it.
+	sub, replay, _ := env2.pipe.events.Subscribe(1, 8, nil)
+	defer sub.Close()
+	var streamed bool
+	for _, ev := range replay {
+		if ev.Job.ID == doomed.ID && ev.Job.State == services.JobStateFailed {
+			streamed = true
+		}
+	}
+	if !streamed {
+		t.Fatal("deadline-expired terminalization produced no stream event")
+	}
+
+	// The expired job is terminal now: Wait returns the deadline error
+	// without the job ever dispatching, and the rest of the recovered
+	// workload drains to done around it.
+	recovered, ok := env2.pipe.byID[doomed.ID]
+	if !ok {
+		t.Fatalf("expired job %s missing from pipeline", doomed.ID)
+	}
+	if err := recovered.Wait(ctx); !errors.Is(err, ErrJobDeadlineExceeded) {
+		t.Fatalf("Wait on expired job = %v, want ErrJobDeadlineExceeded", err)
+	}
+	if !s.StartedAt.IsZero() {
+		t.Fatalf("expired job has a start time %v: it was dispatched", s.StartedAt)
+	}
+	drainCtx, cancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer cancel()
+	if err := env2.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range []string{hold.ID, survivor.ID} {
+		if s, ok := env2.Job(id); !ok || s.State != services.JobStateDone {
+			t.Fatalf("job %s after drain = %+v (found %v)", id, s, ok)
+		}
+	}
+	// A second restart retains the expired job as plain terminal — no
+	// double-count of the replay terminalization.
+	env2.Close()
+	env3, err := New(durableCfg(dir))
+	if err != nil {
+		t.Fatalf("second restart: %v", err)
+	}
+	defer env3.Close()
+	if rep := env3.Recovery(); rep.DeadlineExpiredAtReplay != 0 {
+		t.Fatalf("second replay re-expired the job: %+v", rep)
+	}
+	if s, ok := env3.Job(doomed.ID); !ok || s.State != services.JobStateFailed {
+		t.Fatalf("expired job after second restart = %+v (found %v)", s, ok)
+	}
+}

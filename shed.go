@@ -1,0 +1,260 @@
+package vdce
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"vdce/internal/afg"
+)
+
+// Adaptive load shedding. Before this layer existed, Submit on a full
+// queue blocked until a slot freed or the caller's context expired — so
+// a sustained overload turned every submitter into a parked goroutine
+// and an HTTP client into a hung request. With shedding enabled
+// (ShedConfig.MaxSubmitWait > 0) the admission path fails fast instead:
+// a typed *ShedError names why the submission was refused and how long
+// the client should wait before retrying. The editor maps it to
+// 503 + Retry-After, next to the 429 + Retry-After quota vocabulary.
+
+// Shed reasons carried by ShedError.
+const (
+	// ShedQueueFull: the admission queue stayed full for the whole
+	// bounded wait.
+	ShedQueueFull = "queue-full"
+	// ShedDeadlineInfeasible: the job's deadline cannot be met even by
+	// the task-performance database's lower-bound estimate (the graph's
+	// critical path at catalog/learned base times), so admitting it
+	// would only burn capacity on work that is already lost.
+	ShedDeadlineInfeasible = "deadline-infeasible"
+	// ShedBreakerSaturated: too large a fraction of the site's hosts sit
+	// behind open circuit breakers to place new work responsibly.
+	ShedBreakerSaturated = "breaker-saturated"
+)
+
+// ErrShed matches every shed rejection via errors.Is.
+var ErrShed = errors.New("vdce: submission shed")
+
+// ShedError is the typed rejection of an overloaded admission path.
+type ShedError struct {
+	// Reason is one of the Shed* constants.
+	Reason string
+	// RetryAfter is the suggested client backoff; HTTP surfaces emit it
+	// as a Retry-After header.
+	RetryAfter time.Duration
+	// Detail elaborates (queue depth, estimate vs deadline, open-host
+	// fraction).
+	Detail string
+}
+
+func (e *ShedError) Error() string {
+	if e.Detail != "" {
+		return fmt.Sprintf("%v (%s): %s", ErrShed, e.Reason, e.Detail)
+	}
+	return fmt.Sprintf("%v (%s)", ErrShed, e.Reason)
+}
+
+// Is lets errors.Is(err, ErrShed) match the typed rejection.
+func (e *ShedError) Is(target error) bool { return target == ErrShed }
+
+// ShedConfig tunes adaptive load shedding at admission. The zero value
+// disables shedding entirely, preserving the legacy block-until-slot
+// behavior.
+type ShedConfig struct {
+	// MaxSubmitWait bounds how long Submit may wait for a queue slot
+	// before shedding with reason queue-full. 0 disables shedding.
+	MaxSubmitWait time.Duration
+	// RetryAfter is the backoff hint carried by ShedError (default 1s).
+	RetryAfter time.Duration
+	// CheckDeadline enables the deadline-infeasibility estimate: a
+	// submission whose deadline is closer than the graph's critical-path
+	// lower bound (task-performance base times) sheds immediately.
+	CheckDeadline bool
+	// BreakerSaturation sheds new submissions while at least this
+	// fraction of the testbed's hosts have open circuit breakers
+	// (0 disables; sensible values sit around 0.5–0.75).
+	BreakerSaturation float64
+	// UnreadyShedRate is the /readyz threshold: the environment reports
+	// not-ready while more than this fraction of recent submissions was
+	// shed (default 0.5, over MeterWindow).
+	UnreadyShedRate float64
+	// MeterWindow is the sliding window of the shed-rate meter
+	// (default 5s).
+	MeterWindow time.Duration
+	// Now supplies the meter clock (default time.Now); tests inject a
+	// synthetic one.
+	Now func() time.Time
+}
+
+func (c *ShedConfig) fillDefaults() {
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.UnreadyShedRate <= 0 {
+		c.UnreadyShedRate = 0.5
+	}
+	if c.MeterWindow <= 0 {
+		c.MeterWindow = 5 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// enabled reports whether the admission path sheds at all.
+func (c *ShedConfig) enabled() bool { return c.MaxSubmitWait > 0 }
+
+// shedMeter measures the recent shed rate over a two-bucket sliding
+// window: cheap, lock-scoped, and exact enough for a readiness gate.
+type shedMeter struct {
+	now  func() time.Time
+	half time.Duration
+
+	mu       sync.Mutex
+	curStart time.Time
+	cur      meterBucket
+	prev     meterBucket
+	// totals are lifetime counters for reports and tests.
+	totalAccepted int64
+	totalShed     int64
+}
+
+type meterBucket struct {
+	accepted int
+	shed     int
+}
+
+func newShedMeter(window time.Duration, now func() time.Time) *shedMeter {
+	return &shedMeter{now: now, half: window / 2, curStart: now()}
+}
+
+// roll ages the buckets; callers hold m.mu.
+func (m *shedMeter) roll(now time.Time) {
+	for !now.Before(m.curStart.Add(m.half)) {
+		m.prev, m.cur = m.cur, meterBucket{}
+		m.curStart = m.curStart.Add(m.half)
+		if now.Sub(m.curStart) > 2*m.half {
+			// Idle gap longer than the window: skip straight to now.
+			m.prev = meterBucket{}
+			m.curStart = now
+		}
+	}
+}
+
+func (m *shedMeter) record(shed bool) {
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.roll(now)
+	if shed {
+		m.cur.shed++
+		m.totalShed++
+	} else {
+		m.cur.accepted++
+		m.totalAccepted++
+	}
+}
+
+// rate returns the windowed shed fraction and sample count.
+func (m *shedMeter) rate() (float64, int) {
+	now := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.roll(now)
+	shed := m.cur.shed + m.prev.shed
+	total := shed + m.cur.accepted + m.prev.accepted
+	if total == 0 {
+		return 0, 0
+	}
+	return float64(shed) / float64(total), total
+}
+
+// totals returns the lifetime accepted/shed counters.
+func (m *shedMeter) totals() (accepted, shed int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.totalAccepted, m.totalShed
+}
+
+// shedError builds one rejection with the configured backoff hint.
+func (c *ShedConfig) shedError(reason, detail string) *ShedError {
+	return &ShedError{Reason: reason, RetryAfter: c.RetryAfter, Detail: detail}
+}
+
+// preAdmitShed runs the estimate-based shed checks that need no queue
+// slot: breaker saturation and deadline infeasibility. It returns nil
+// when the submission may proceed to admission.
+func (p *pipeline) preAdmitShed(spec submitSpec) *ShedError {
+	cfg := &p.shed
+	if !cfg.enabled() {
+		return nil
+	}
+	if cfg.BreakerSaturation > 0 && p.env.Breakers != nil {
+		total := len(p.env.TB.AllHosts())
+		if frac := p.env.Breakers.OpenFraction(total); frac >= cfg.BreakerSaturation {
+			return cfg.shedError(ShedBreakerSaturated,
+				fmt.Sprintf("%.0f%% of %d hosts quarantined", frac*100, total))
+		}
+	}
+	if cfg.CheckDeadline && !spec.deadline.IsZero() {
+		if est, ok := p.minCompletionEstimate(spec.graph); ok {
+			if remaining := time.Until(spec.deadline); remaining < est {
+				return cfg.shedError(ShedDeadlineInfeasible,
+					fmt.Sprintf("critical-path estimate %v exceeds remaining %v", est, remaining.Round(time.Millisecond)))
+			}
+		}
+	}
+	return nil
+}
+
+// minCompletionEstimate lower-bounds the graph's completion time from
+// the task-performance database: the critical path at per-task base
+// times, ignoring queueing, placement, and communication — anything the
+// estimate omits only makes the true completion later, so a deadline
+// the estimate already misses is genuinely infeasible.
+func (p *pipeline) minCompletionEstimate(g *afg.Graph) (time.Duration, bool) {
+	cost, err := p.env.CostFunc(g)
+	if err != nil {
+		// Unknown tasks fail later with a better error; never shed on a
+		// missing estimate.
+		return 0, false
+	}
+	_, seconds, err := g.CriticalPath(cost)
+	if err != nil || seconds <= 0 {
+		return 0, false
+	}
+	return time.Duration(seconds * float64(time.Second)), true
+}
+
+// ShedStats reports the pipeline's lifetime admission counters:
+// accepted submissions and shed rejections.
+func (env *Environment) ShedStats() (accepted, shed int64) {
+	return env.pipe.meter.totals()
+}
+
+// Ready reports whether the environment should receive traffic, with a
+// human-readable reason when it should not: the /readyz verdict. The
+// environment is not ready while the recovery replay of a durable store
+// still has re-admitted jobs waiting to reach a scheduler (the backlog
+// belongs to the previous incarnation, not new clients) and while the
+// admission path is shedding more than the configured fraction of
+// recent submissions.
+func (env *Environment) Ready() (bool, string) {
+	p := env.pipe
+	if n := p.recoveryPending.Load(); n > 0 {
+		return false, fmt.Sprintf("recovery replay: %d re-admitted jobs pending", n)
+	}
+	if p.shed.enabled() {
+		if rate, total := p.meter.rate(); total >= 4 && rate > p.shed.UnreadyShedRate {
+			return false, fmt.Sprintf("shedding %.0f%% of recent submissions", rate*100)
+		}
+	}
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return false, "pipeline closed"
+	}
+	return true, "ok"
+}

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"vdce/internal/afg"
+	"vdce/internal/breaker"
 	"vdce/internal/control"
 	"vdce/internal/core"
 	"vdce/internal/detect"
@@ -97,6 +98,20 @@ type Config struct {
 	// Pipeline sizes the concurrent submission pipeline behind Submit.
 	// The zero value takes the PipelineConfig defaults.
 	Pipeline PipelineConfig
+	// Retry shapes the execution engine's rescheduling retries: jittered
+	// exponential backoff per attempt plus an engine-wide token-bucket
+	// retry budget, so a mass host failure cannot multiply load into a
+	// retry storm. The zero value keeps the legacy immediate retries.
+	Retry exec.RetryConfig
+	// StartBreakers runs per-host circuit breakers (internal/breaker):
+	// watchdog failures and detector suspicions open a flapping host's
+	// breaker, quarantining it from placements until half-open probes
+	// succeed. Surfaced on GET /v1/hosts and consulted by the
+	// rescheduler and the admission path's breaker-saturation shed.
+	StartBreakers bool
+	// Breaker tunes the circuit breakers when StartBreakers is set; the
+	// zero value takes the breaker defaults.
+	Breaker breaker.Config
 	// StoreDir, when non-empty, makes the control plane durable: job
 	// lifecycle, per-owner admin state, task-performance history, and the
 	// event stream's high-water mark are logged to an append-only store
@@ -125,6 +140,9 @@ type Environment struct {
 	// Detector is the failure-detection service (non-nil when
 	// Config.StartDetector).
 	Detector *detect.Detector
+	// Breakers is the per-host circuit-breaker set (non-nil when
+	// Config.StartBreakers).
+	Breakers *breaker.Set
 	// Board tracks every submitted job's lifecycle for monitoring.
 	Board *services.JobBoard
 	// Store is the durable control-plane log (non-nil when
@@ -279,12 +297,19 @@ func New(cfg Config) (*Environment, error) {
 		}
 	}
 
+	var reschedOpts []exec.ReschedulerOption
+	if cfg.StartBreakers {
+		env.Breakers = breaker.New(cfg.Breaker)
+		reschedOpts = append(reschedOpts, exec.WithBreakers(env.Breakers))
+	}
 	env.Engine = &exec.Engine{
 		Reg:           env.Registry,
 		TB:            tb,
 		LoadThreshold: cfg.LoadThreshold,
 		DilationScale: cfg.DilationScale,
-		Reschedule:    exec.NewRescheduler(env.Sites),
+		Reschedule:    exec.NewRescheduler(env.Sites, reschedOpts...),
+		Retry:         cfg.Retry,
+		Breakers:      env.Breakers,
 		Console:       env.Console,
 		Metrics:       env.Metrics,
 	}
@@ -313,8 +338,19 @@ func New(cfg Config) (*Environment, error) {
 		// is already published when subscribers run.
 		env.Detector.Subscribe(func(tr detect.Transition) {
 			switch tr.To {
+			case detect.Suspect:
+				// The suspect signal feeds the circuit breakers: a flapping
+				// host keeps re-entering suspicion without ever staying
+				// silent long enough to be confirmed dead, and the breaker
+				// is exactly the accumulator that notices the pattern.
+				if env.Breakers != nil {
+					env.Breakers.ReportFailure(tr.Host)
+				}
 			case detect.Dead:
 				env.Engine.MarkHostDead(tr.Host)
+				if env.Breakers != nil {
+					env.Breakers.ReportFailure(tr.Host)
+				}
 			case detect.Recovered:
 				env.Engine.MarkHostAlive(tr.Host)
 			}
@@ -611,7 +647,14 @@ func (env *Environment) EditorServer(execute bool, k int) *editor.Server {
 			}
 			job, err := env.Submit(ctx, g, opts...)
 			if err != nil {
+				var se *ShedError
 				switch {
+				case errors.As(err, &se):
+					// Adaptive load shedding: surface as 503 + Retry-After,
+					// carrying the shedder's reason and backoff hint.
+					err = &editor.OverloadedError{
+						RetryAfter: se.RetryAfter, Reason: se.Reason, Err: err,
+					}
 				case errors.Is(err, ErrQuotaExceeded):
 					// Per-owner admission quota: a 429, not a 400 — the
 					// request was fine, the owner must back off.
@@ -648,6 +691,46 @@ func (env *Environment) JobsHandler(cfg jobsapi.Config) http.Handler {
 		cfg.RateLimit = env.pipe.cfg.APIRate
 	}
 	return jobsapi.Handler(cfg)
+}
+
+// Hosts reports every testbed host's health snapshot — host-model
+// up/down, failure-detector state (when a detector runs), and
+// circuit-breaker state (when breakers run). It satisfies
+// jobsapi.HostSource, so mounting the jobs API on an Environment
+// exposes the snapshot as GET /v1/hosts.
+func (env *Environment) Hosts() []services.HostStatus {
+	var brk map[string]breaker.HostStatus
+	if env.Breakers != nil {
+		snap := env.Breakers.Snapshot()
+		brk = make(map[string]breaker.HostStatus, len(snap))
+		for _, hs := range snap {
+			brk[hs.Host] = hs
+		}
+	}
+	var out []services.HostStatus
+	for _, s := range env.TB.Sites {
+		for _, h := range s.Hosts {
+			hs := services.HostStatus{
+				Host:    h.Name,
+				Site:    s.Name,
+				Up:      h.Reachable() && !h.Failed(),
+				Breaker: breaker.Closed.String(),
+			}
+			if env.Detector != nil {
+				if st, ok := env.Detector.State(h.Name); ok {
+					hs.Detector = st.String()
+				}
+			}
+			if b, ok := brk[h.Name]; ok {
+				hs.Breaker = b.State
+				hs.FailureRate = b.FailureRate
+				hs.Samples = b.Samples
+				hs.BreakerOpens = b.Opens
+			}
+			out = append(out, hs)
+		}
+	}
+	return out
 }
 
 // RefreshMonitoring synchronously refreshes every site's resource DB
