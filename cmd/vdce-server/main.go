@@ -24,7 +24,11 @@
 // not-ready while recovery replay drains or the shed rate is high, and
 // per-host circuit breakers (-breakers, on by default) quarantine
 // flapping hosts from placement until half-open probes succeed — state
-// visible on GET /v1/hosts.
+// visible on GET /v1/hosts. GET /metrics exposes the control plane's
+// Prometheus-text metrics (admission, scheduler, exec, breakers, WAL,
+// events), GET /v1/jobs/{id}/trace returns a job's lifecycle trace,
+// -debug-addr serves net/http/pprof on a second listener, and
+// -log-level/-log-format enable structured slog output on stderr.
 //
 //	vdce-server -hosts 8 -http 127.0.0.1:8470 -workers 4 -parallel 8
 //	vdce-server -hosts 8 -quota-queued 32 -quota-inflight 4
@@ -49,8 +53,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -62,6 +68,28 @@ import (
 	"vdce/internal/jobsapi"
 	"vdce/internal/testbed"
 )
+
+// buildLogger turns the -log-level/-log-format flags into a structured
+// logger on stderr (keeping stdout for the banner and chaos reports).
+// An empty level disables logging entirely (the library's default).
+func buildLogger(level, format string) (*slog.Logger, error) {
+	if level == "" {
+		return nil, nil
+	}
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("vdce-server: bad -log-level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("vdce-server: bad -log-format %q (want text|json)", format)
+	}
+}
 
 // lockedWriter serializes writes from the chaos goroutine and run's
 // own prints onto one underlying writer.
@@ -112,10 +140,17 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 	retryBudget := fs.Float64("retry-budget", 0, "engine-wide retry budget in retries/second; over-budget reschedules park until a token frees (0 = unlimited)")
 	chaosName := fs.String("chaos", "", "play a fault scenario against the live testbed: kill-quarter|rolling-restart|site-partition|flapping-host|brownout")
 	chaosSpan := fs.Duration("chaos-span", 30*time.Second, "duration the -chaos scenario is spread over")
+	logLevel := fs.String("log-level", "", "structured log level: debug|info|warn|error (empty = logging off)")
+	logFormat := fs.String("log-format", "text", "structured log format: text|json")
+	debugAddr := fs.String("debug-addr", "", "debug HTTP address serving net/http/pprof and an unauthenticated /metrics mirror (empty = off)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return nil
 		}
+		return err
+	}
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 
@@ -151,6 +186,7 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 		StoreDir:      *storeDir,
 		StartBreakers: *breakers,
 		Retry:         exec.RetryConfig{BudgetPerSecond: *retryBudget},
+		Logger:        logger,
 	})
 	if err != nil {
 		return err
@@ -197,11 +233,16 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 	mux.Handle("GET /v1/jobs", jobsV1)
 	mux.Handle("GET /v1/jobs/{id}", jobsV1)
 	mux.Handle("GET /v1/jobs/{id}/events", jobsV1)
+	mux.Handle("GET /v1/jobs/{id}/trace", jobsV1)
 	mux.Handle("GET /v1/events", jobsV1)
 	mux.Handle("DELETE /v1/jobs/{id}", jobsV1)
 	mux.Handle("GET /v1/owners", jobsV1)
 	mux.Handle("PATCH /v1/owners/{owner}", jobsV1)
 	mux.Handle("GET /v1/hosts", jobsV1)
+	// Prometheus text exposition, unauthenticated like the health probes:
+	// scrapers are infrastructure, not editor users, and the registry
+	// carries no per-job payloads — only aggregate series.
+	mux.Handle("GET /metrics", env.Obs.Handler())
 	// Health probes, unauthenticated by design: /healthz answers 200
 	// while the process is up (liveness); /readyz answers 503 while the
 	// server should not take traffic — recovery replay still draining
@@ -235,6 +276,28 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 		})
 	})
 
+	// The debug listener is a second, separately-bindable surface so
+	// pprof and raw metrics can stay off the public address (bind it to
+	// localhost) while the main API is exposed.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dlis, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return err
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		dmux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+		dmux.Handle("GET /metrics", env.Obs.Handler())
+		debugSrv = &http.Server{Handler: dmux}
+		go func() { _ = debugSrv.Serve(dlis) }()
+		defer debugSrv.Shutdown(context.Background())
+		fmt.Fprintf(out, "debug: pprof + metrics on http://%s/debug/pprof/\n", dlis.Addr())
+	}
+
 	lis, err := net.Listen("tcp", *httpAddr)
 	if err != nil {
 		return err
@@ -259,6 +322,7 @@ func run(ctx context.Context, args []string, out io.Writer, notify func(addr str
 	fmt.Fprintf(out, "  event stream      : http://%s/v1/events (SSE; per-job: /v1/jobs/{id}/events)\n", addr)
 	fmt.Fprintf(out, "  owners API        : http://%s/v1/owners\n", addr)
 	fmt.Fprintf(out, "  hosts API         : http://%s/v1/hosts\n", addr)
+	fmt.Fprintf(out, "  metrics           : http://%s/metrics (job traces: /v1/jobs/{id}/trace)\n", addr)
 	fmt.Fprintf(out, "  health            : http://%s/healthz, /readyz\n", addr)
 	fmt.Fprintf(out, "  hosts:\n")
 	for _, h := range env.TB.Sites[0].Hosts {

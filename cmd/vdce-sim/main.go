@@ -47,6 +47,7 @@ import (
 	"vdce/internal/chaos"
 	"vdce/internal/core"
 	"vdce/internal/detect"
+	"vdce/internal/obs"
 	"vdce/internal/services"
 	"vdce/internal/sim"
 	"vdce/internal/tasklib"
@@ -275,7 +276,28 @@ func runServerRestart(out io.Writer, sites, hosts int, seed int64) error {
 	if post[services.JobStateDone] != jobs {
 		return fmt.Errorf("post-restart workload did not finish: %d/%d done", post[services.JobStateDone], jobs)
 	}
+	printMetricsSummary(out, env2.Obs)
 	return nil
+}
+
+// printMetricsSummary renders the chaos report's closing table straight
+// from the environment's metrics registry — the same series /metrics
+// exposes, so the report can never disagree with the scrape.
+func printMetricsSummary(out io.Writer, reg *obs.Registry) {
+	fmt.Fprintln(out, "metrics summary:")
+	for _, row := range []struct{ label, name string }{
+		{"jobs admitted", "vdce_admission_accepted_total"},
+		{"submissions shed", "vdce_admission_rejects_total"},
+		{"jobs recovered", "vdce_recovery_jobs_total"},
+		{"task retries", "vdce_exec_retries_total"},
+		{"retry parks", "vdce_exec_retry_parks_total"},
+		{"reschedules", "vdce_exec_reschedules_total"},
+		{"host failures", "vdce_exec_host_failures_total"},
+		{"breaker opens", "vdce_breaker_opens_total"},
+		{"events published", "vdce_events_published_total"},
+	} {
+		fmt.Fprintf(out, "  %-20s %g\n", row.label, reg.Total(row.name))
+	}
 }
 
 // runChaos plays the named fault scenario over the already-scheduled
@@ -305,7 +327,17 @@ func runChaos(out io.Writer, tb *testbed.Testbed, before *core.AllocationTable, 
 	// host is a success, a dark one a failure. A host that flaps
 	// accumulates a mixed window whose failure rate trips the breaker
 	// even though the detector keeps flipping it back to healthy.
-	brk := breaker.New(breaker.Config{Now: func() time.Time { return now }})
+	reg := obs.NewRegistry()
+	opens := reg.Counter("vdce_breaker_opens_total",
+		"Circuit-breaker transitions into the open state, per host.", "host")
+	brk := breaker.New(breaker.Config{
+		Now: func() time.Time { return now },
+		OnTransition: func(host string, _, to breaker.State) {
+			if to == breaker.Open {
+				opens.With(host).Inc()
+			}
+		},
+	})
 	detection := func() error {
 		for round := 0; round < 3; round++ {
 			now = now.Add(25 * time.Millisecond)
@@ -379,5 +411,6 @@ func runChaos(out io.Writer, tb *testbed.Testbed, before *core.AllocationTable, 
 			}
 		}
 	}
+	printMetricsSummary(out, reg)
 	return nil
 }

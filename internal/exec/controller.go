@@ -127,6 +127,8 @@ func (ac *appController) executeWithRescheduling(ctx context.Context, in []taskl
 			}
 			ac.app.emit(Event{Type: EventHostFailure, Task: ac.task.ID, TaskName: ac.task.Name,
 				Host: term.host, Reason: term.reason})
+			e.logger().Warn("host failure", "app", ac.app.appID,
+				"task", ac.task.Name, "host", term.host, "reason", term.reason)
 		}
 		if attempt == ac.app.maxAttempts {
 			// No attempt left to use a new placement: skip the wasted
@@ -165,6 +167,8 @@ func (ac *appController) executeWithRescheduling(ctx context.Context, in []taskl
 		ac.app.setPlacement(ac.task.ID, np)
 		ac.app.emit(Event{Type: EventRescheduled, Task: ac.task.ID, TaskName: ac.task.Name,
 			Host: np.Hosts[0], Hosts: append([]string(nil), np.Hosts...)})
+		e.logger().Info("task rescheduled", "app", ac.app.appID,
+			"task", ac.task.Name, "host", np.Hosts[0], "attempt", attempt)
 	}
 	return nil, fmt.Errorf("exec: task %d exhausted %d attempts", ac.task.ID, ac.app.maxAttempts)
 }

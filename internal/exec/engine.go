@@ -16,6 +16,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -69,6 +70,9 @@ type Engine struct {
 	Console *services.Console
 	// Metrics receives the task timeline for visualization. Optional.
 	Metrics *services.Metrics
+	// Log receives structured recovery events (host failures, task
+	// reschedules) correlated by app ID. Optional; nil discards.
+	Log *slog.Logger
 
 	// retryOnce/retry materialize Retry into the shared gate.
 	retryOnce sync.Once
@@ -133,6 +137,22 @@ func (e *Engine) lockHosts(hosts []string) func() {
 // has had executing at the same time since it was created.
 func (e *Engine) PeakConcurrency() int {
 	return int(e.peakInFlight.Load())
+}
+
+// InFlight reports how many applications are executing right now.
+func (e *Engine) InFlight() int {
+	return int(e.inFlight.Load())
+}
+
+// discardLog backs logger() so recovery-path call sites never branch.
+var discardLog = slog.New(slog.DiscardHandler)
+
+// logger returns the engine's structured logger, or a discarding one.
+func (e *Engine) logger() *slog.Logger {
+	if e.Log != nil {
+		return e.Log
+	}
+	return discardLog
 }
 
 // MarkHostDead records a failure-detector confirmation: every running

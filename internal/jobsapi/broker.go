@@ -3,6 +3,7 @@ package jobsapi
 import (
 	"sync"
 
+	"vdce/internal/obs"
 	"vdce/internal/services"
 )
 
@@ -72,6 +73,29 @@ type Broker struct {
 	// b.mu) — the durability hook persisting the stream's high-water
 	// mark.
 	onPublish func(uint64)
+	// published/evicted/overwritten are the broker's registry counters,
+	// installed by Instrument before concurrent use; nil until then, so
+	// un-instrumented brokers (tests) pay nothing.
+	published   *obs.Counter
+	evictedCnt  *obs.Counter
+	overwritten *obs.Counter
+}
+
+// Instrument registers the broker's counters on reg and installs the
+// handles plus a subscriber gauge. Call once, before the broker sees
+// concurrent publishes.
+func (b *Broker) Instrument(reg *obs.Registry) {
+	b.published = reg.Counter("vdce_events_published_total",
+		"Events published to the job event broker.").With()
+	b.evictedCnt = reg.Counter("vdce_events_subscribers_evicted_total",
+		"Slow subscribers evicted because their delivery buffer overflowed.").With()
+	b.overwritten = reg.Counter("vdce_events_dropped_total",
+		"Replay-ring events overwritten before any reconnect could replay them.").With()
+	reg.GaugeFunc("vdce_events_subscribers",
+		"Live event-stream subscribers.", nil,
+		func(emit func(v float64, labelVals ...string)) {
+			emit(float64(b.Subscribers()))
+		})
 }
 
 // NewBroker returns a broker retaining the last buffer events for
@@ -153,6 +177,9 @@ func (b *Broker) Publish(typ string, job services.JobStatus) {
 		b.onPublish(b.next)
 	}
 	ev := StreamEvent{Cursor: b.next, Type: typ, Job: job}
+	if b.published != nil {
+		b.published.Inc()
+	}
 	// Retain in the ring, overwriting the oldest once full.
 	i := (b.start + b.count) % len(b.ring)
 	b.ring[i] = ev
@@ -160,6 +187,9 @@ func (b *Broker) Publish(typ string, job services.JobStatus) {
 		b.count++
 	} else {
 		b.start = (b.start + 1) % len(b.ring)
+		if b.overwritten != nil {
+			b.overwritten.Inc()
+		}
 	}
 	for s := range b.subs {
 		if s.match != nil && !s.match(ev) {
@@ -173,6 +203,9 @@ func (b *Broker) Publish(typ string, job services.JobStatus) {
 			// processed cursor (the replay ring bridges the gap).
 			s.evicted = true
 			b.dropLocked(s)
+			if b.evictedCnt != nil {
+				b.evictedCnt.Inc()
+			}
 		}
 	}
 }

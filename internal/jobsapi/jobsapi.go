@@ -26,6 +26,10 @@
 //	                            state (closed/open/half-open with the
 //	                            windowed failure rate), when the Source
 //	                            implements HostSource
+//	GET    /v1/jobs/{id}/trace  one job's lifecycle trace: phase
+//	                            boundary timestamps plus park,
+//	                            reschedule, and failure point events,
+//	                            when the Source implements TraceSource
 //
 // All endpoints require authentication; the embedding server supplies
 // the session model. When Config.RateLimit is set, every request spends
@@ -44,6 +48,7 @@ import (
 	"strings"
 	"time"
 
+	"vdce/internal/obs"
 	"vdce/internal/services"
 )
 
@@ -151,6 +156,15 @@ type HostSource interface {
 	Hosts() []services.HostStatus
 }
 
+// TraceSource is the optional Source extension behind
+// GET /v1/jobs/{id}/trace: the job's full lifecycle trace (phase
+// boundaries plus park/reschedule/failure point events). Sources that
+// do not implement it do not get the endpoint mounted.
+type TraceSource interface {
+	// JobTrace returns one retained job's ordered lifecycle trace.
+	JobTrace(id string) (services.JobTrace, bool)
+}
+
 // Config wires one mount of the API.
 type Config struct {
 	// Source supplies and controls the jobs.
@@ -176,11 +190,19 @@ type Config struct {
 	RateLimit RateLimitConfig
 	// Now overrides the rate limiter's clock (tests).
 	Now func() time.Time
+	// Metrics, when non-nil, receives the mount's per-owner throttle
+	// counters (vdce_api_rate_throttled_total{owner}) — the same cells
+	// GET /v1/owners reports as rate_throttled, so the two surfaces
+	// cannot disagree. Mounts sharing a registry aggregate.
+	Metrics *obs.Registry
 }
 
 // Handler returns the /v1 job-control mux.
 func Handler(cfg Config) http.Handler {
 	limiter := newRateLimiter(cfg.RateLimit, cfg.Now)
+	if limiter != nil && cfg.Metrics != nil {
+		limiter.instrument(cfg.Metrics)
+	}
 	mux := http.NewServeMux()
 	handle := func(pattern string, h func(http.ResponseWriter, *http.Request, string)) {
 		mux.HandleFunc(pattern, cfg.auth(limiter, h))
@@ -199,7 +221,34 @@ func Handler(cfg Config) http.Handler {
 			writeJSON(w, http.StatusOK, map[string]any{"hosts": hs.Hosts()})
 		})
 	}
+	if ts, ok := cfg.Source.(TraceSource); ok {
+		handle("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request, user string) {
+			cfg.handleTrace(w, r, user, ts)
+		})
+	}
 	return mux
+}
+
+// handleTrace serves GET /v1/jobs/{id}/trace. Authorization follows
+// handleGet exactly: owner-scoped mounts answer 403 for someone else's
+// job, so the trace endpoint leaks nothing the status endpoint hides.
+func (c Config) handleTrace(w http.ResponseWriter, r *http.Request, user string, ts TraceSource) {
+	id := r.PathValue("id")
+	s, ok := c.Source.Job(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("jobsapi: no job %q", id))
+		return
+	}
+	if c.OwnerScoped && s.Owner != user {
+		writeErr(w, http.StatusForbidden, errors.New("jobsapi: not your job"))
+		return
+	}
+	tr, ok := ts.JobTrace(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("jobsapi: no trace for job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"vdce/internal/obs"
 )
 
 // RateLimitConfig is a per-owner token bucket enforced at the API mux,
@@ -65,6 +67,12 @@ func (e *RateError) Error() string {
 type rateLimiter struct {
 	cfg RateLimitConfig
 	now func() time.Time
+	// throttles is the per-owner 429 counter family
+	// (vdce_api_rate_throttled_total). It is the single tally behind both
+	// /v1/owners' rate_throttled and /metrics: the registry cell IS the
+	// count, so the two surfaces cannot disagree. A private registry
+	// backs un-instrumented mounts so allow() never branches.
+	throttles *obs.CounterVec
 
 	mu      sync.Mutex
 	buckets map[string]*rateBucket
@@ -73,9 +81,9 @@ type rateLimiter struct {
 type rateBucket struct {
 	tokens float64
 	last   time.Time
-	// throttled counts 429s served to this owner, surfaced on
-	// /v1/owners so an owner can see it is being limited.
-	throttled uint64
+	// throttled is the owner's resolved 429 counter handle, from the
+	// limiter's throttles family.
+	throttled *obs.Counter
 }
 
 func newRateLimiter(cfg RateLimitConfig, now func() time.Time) *rateLimiter {
@@ -85,7 +93,17 @@ func newRateLimiter(cfg RateLimitConfig, now func() time.Time) *rateLimiter {
 	if now == nil {
 		now = time.Now
 	}
-	return &rateLimiter{cfg: cfg, now: now, buckets: make(map[string]*rateBucket)}
+	l := &rateLimiter{cfg: cfg, now: now, buckets: make(map[string]*rateBucket)}
+	l.instrument(obs.NewRegistry())
+	return l
+}
+
+// instrument re-homes the limiter's throttle counters onto reg. Must be
+// called before the mount serves traffic (buckets resolve their handle
+// at creation).
+func (l *rateLimiter) instrument(reg *obs.Registry) {
+	l.throttles = reg.Counter("vdce_api_rate_throttled_total",
+		"API requests answered 429 by the per-owner token bucket, by owner.", "owner")
 }
 
 // allow spends one token from the owner's bucket, reporting nil on
@@ -98,7 +116,7 @@ func (l *rateLimiter) allow(owner string) *RateError {
 	defer l.mu.Unlock()
 	b, ok := l.buckets[owner]
 	if !ok {
-		b = &rateBucket{tokens: burst, last: now}
+		b = &rateBucket{tokens: burst, last: now, throttled: l.throttles.With(owner)}
 		l.buckets[owner] = b
 	}
 	if dt := now.Sub(b.last).Seconds(); dt > 0 {
@@ -109,7 +127,7 @@ func (l *rateLimiter) allow(owner string) *RateError {
 		b.tokens--
 		return nil
 	}
-	b.throttled++
+	b.throttled.Inc()
 	wait := time.Duration((1 - b.tokens) / l.cfg.RequestsPerSecond * float64(time.Second))
 	return &RateError{
 		Owner: owner, Resource: "api-requests",
@@ -117,14 +135,10 @@ func (l *rateLimiter) allow(owner string) *RateError {
 	}
 }
 
-// throttled returns how many 429s this owner has been served.
+// throttled returns how many 429s this owner has been served, read
+// from the shared registry counter.
 func (l *rateLimiter) throttledCount(owner string) uint64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if b, ok := l.buckets[owner]; ok {
-		return b.throttled
-	}
-	return 0
+	return uint64(l.throttles.Value(owner))
 }
 
 // writeRateErr renders a 429: Retry-After plus the structured

@@ -59,6 +59,69 @@ type JobStatus struct {
 	StartedAt   time.Time `json:"started_at,omitzero"`
 	FinishedAt  time.Time `json:"finished_at,omitzero"`
 	Error       string    `json:"error,omitempty"`
+	// Timings is the job's lifecycle phase-boundary block: one timestamp
+	// per pipeline phase the job has crossed so far, plus derived
+	// durations. Nil only for statuses predating the tracing layer
+	// (store records persisted by older incarnations).
+	Timings *JobTimings `json:"timings,omitempty"`
+}
+
+// Lifecycle phase names, in pipeline order. These are both the trace
+// event names and the `phase` label values of the
+// vdce_job_phase_seconds histogram.
+const (
+	PhaseSubmitted  = "submitted"
+	PhaseAdmitted   = "admitted"
+	PhaseScheduled  = "scheduled"
+	PhaseDispatched = "dispatched"
+	PhaseRunning    = "running"
+)
+
+// JobTimings is the phase-boundary view of one job: when each pipeline
+// phase was entered (zero until crossed) and the durations between
+// consecutive crossed boundaries, in seconds.
+type JobTimings struct {
+	SubmittedAt  time.Time `json:"submitted_at,omitzero"`
+	AdmittedAt   time.Time `json:"admitted_at,omitzero"`
+	ScheduledAt  time.Time `json:"scheduled_at,omitzero"`
+	DispatchedAt time.Time `json:"dispatched_at,omitzero"`
+	RunningAt    time.Time `json:"running_at,omitzero"`
+	FinishedAt   time.Time `json:"finished_at,omitzero"`
+	// SubmitWaitSeconds: Submit call to admission-queue entry.
+	SubmitWaitSeconds float64 `json:"submit_wait_seconds,omitempty"`
+	// QueueWaitSeconds: admission-queue entry to schedule completion.
+	QueueWaitSeconds float64 `json:"queue_wait_seconds,omitempty"`
+	// DispatchWaitSeconds: schedule completion to run-slot dispatch
+	// (includes host-quota parks and run-slot waits).
+	DispatchWaitSeconds float64 `json:"dispatch_wait_seconds,omitempty"`
+	// RunSeconds: running to terminal.
+	RunSeconds float64 `json:"run_seconds,omitempty"`
+	// TotalSeconds: submission to terminal.
+	TotalSeconds float64 `json:"total_seconds,omitempty"`
+}
+
+// TraceEvent is one entry in a job's lifecycle trace: a phase boundary
+// (submitted, admitted, scheduled, dispatched, running, or a terminal
+// state) or a recovery point event (host-park, host-unpark,
+// rescheduled, host-failure, recovered).
+type TraceEvent struct {
+	At    time.Time `json:"at"`
+	Event string    `json:"event"`
+	// Detail carries the event's subject when it has one: the host for
+	// rescheduled/host-failure, the error for failed.
+	Detail string `json:"detail,omitempty"`
+}
+
+// JobTrace is the full ordered lifecycle trace of one job, served by
+// GET /v1/jobs/{id}/trace. Events are append-ordered and their
+// timestamps are non-decreasing.
+type JobTrace struct {
+	ID     string       `json:"id"`
+	Owner  string       `json:"owner,omitempty"`
+	State  string       `json:"state"`
+	Events []TraceEvent `json:"events"`
+	// Timings is the same phase-boundary block JobStatus carries.
+	Timings *JobTimings `json:"timings,omitempty"`
 }
 
 // Terminal reports whether the status will never change again.

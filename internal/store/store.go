@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"vdce/internal/obs"
 )
 
 // Options tunes a Store. The zero value takes the listed defaults.
@@ -22,6 +24,11 @@ type Options struct {
 	// compaction (snapshot + segment rotation + old-file cleanup).
 	// Default 4096.
 	CompactEvery int
+	// Metrics, when non-nil, receives the WAL's instrumentation:
+	// vdce_wal_append_seconds (hot-path framing latency, including any
+	// backpressure wait) and vdce_wal_fsync_batch_records (records per
+	// group-committed fsync).
+	Metrics *obs.Registry
 }
 
 func (o *Options) fillDefaults() {
@@ -237,7 +244,7 @@ func Open(dir string, opt Options) (*Store, error) {
 	s := &Store{
 		dir:       dir,
 		opt:       opt,
-		w:         newWAL(dir, cur, f, opt.FlushInterval),
+		w:         newWAL(dir, cur, f, opt.FlushInterval, opt.Metrics),
 		st:        st,
 		recovered: st.clone(),
 	}

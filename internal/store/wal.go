@@ -8,6 +8,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"vdce/internal/obs"
 )
 
 // errWALClosed is returned by appends and syncs after the log shut down.
@@ -41,8 +43,17 @@ type wal struct {
 	// close.
 	nAppend  uint64
 	nDurable uint64
-	err      error // sticky first I/O error; poisons later appends
-	closed   bool
+	// batchRecs counts records in the current pending batch (guarded by
+	// mu); the committer snapshots and resets it per flush to feed the
+	// fsync batch-size histogram.
+	batchRecs uint64
+	err       error // sticky first I/O error; poisons later appends
+	closed    bool
+
+	// appendHist/fsyncBatch are the WAL's instrumentation handles; nil
+	// (un-instrumented stores) costs the hot path one predictable branch.
+	appendHist *obs.Histogram
+	fsyncBatch *obs.Histogram
 
 	kick chan struct{}
 	quit chan struct{}
@@ -62,8 +73,10 @@ func segmentName(n uint64) string  { return fmt.Sprintf("wal-%08d.log", n) }
 func snapshotName(n uint64) string { return fmt.Sprintf("snap-%08d.json", n) }
 
 // newWAL wraps an already-opened current segment file and starts the
-// committer.
-func newWAL(dir string, seg uint64, f *os.File, flushEvery time.Duration) *wal {
+// committer. reg, when non-nil, receives the append-latency and
+// fsync-batch-size histograms (installed before the committer starts,
+// so the handles are never written concurrently).
+func newWAL(dir string, seg uint64, f *os.File, flushEvery time.Duration, reg *obs.Registry) *wal {
 	w := &wal{
 		dir:        dir,
 		flushEvery: flushEvery,
@@ -73,6 +86,13 @@ func newWAL(dir string, seg uint64, f *os.File, flushEvery time.Duration) *wal {
 		quit:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
+	if reg != nil {
+		w.appendHist = reg.Histogram("vdce_wal_append_seconds",
+			"WAL append latency: framing plus CRC under the batch mutex, including any full-batch backpressure wait.",
+			obs.WALBuckets).With()
+		w.fsyncBatch = reg.Histogram("vdce_wal_fsync_batch_records",
+			"Records group-committed per WAL fsync.", obs.SizeBuckets).With()
+	}
 	w.cond = sync.NewCond(&w.mu)
 	go w.committer()
 	return w
@@ -81,6 +101,16 @@ func newWAL(dir string, seg uint64, f *os.File, flushEvery time.Duration) *wal {
 // append frames one payload into the pending batch. It does no I/O; the
 // record is durable once a later flush covers it (see sync).
 func (w *wal) append(payload []byte) error {
+	if w.appendHist != nil {
+		start := time.Now()
+		err := w.appendInner(payload)
+		w.appendHist.Observe(time.Since(start).Seconds())
+		return err
+	}
+	return w.appendInner(payload)
+}
+
+func (w *wal) appendInner(payload []byte) error {
 	w.mu.Lock()
 	for len(w.buf) >= maxBatchBytes && !w.closed && w.err == nil {
 		w.mu.Unlock()
@@ -105,6 +135,7 @@ func (w *wal) append(payload []byte) error {
 	}
 	w.buf = appendFrame(w.buf, payload)
 	w.nAppend++
+	w.batchRecs++
 	big := len(w.buf) >= kickBatchBytes
 	w.mu.Unlock()
 	if big {
@@ -172,11 +203,16 @@ func (w *wal) flushOnce() {
 func (w *wal) flushLockedIO() {
 	w.mu.Lock()
 	b, target, f := w.buf, w.nAppend, w.f
+	recs := w.batchRecs
+	w.batchRecs = 0
 	w.buf = nil
 	bad := w.err
 	w.mu.Unlock()
 	if bad != nil {
 		return
+	}
+	if w.fsyncBatch != nil && recs > 0 {
+		w.fsyncBatch.Observe(float64(recs))
 	}
 	var err error
 	if len(b) > 0 {

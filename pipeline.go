@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -312,6 +313,16 @@ type Job struct {
 	submitted       time.Time
 	started         time.Time
 	finished        time.Time
+	// admitted/scheduled/dispatched complete the phase-boundary set
+	// (submitted/started/finished above): admission-queue entry, schedule
+	// completion, and run-slot dispatch. Zero until crossed.
+	admitted   time.Time
+	scheduled  time.Time
+	dispatched time.Time
+	// trace is the append-ordered lifecycle trace behind
+	// GET /v1/jobs/{id}/trace: every phase boundary plus park, reschedule,
+	// and failure point events, timestamps clamped non-decreasing.
+	trace []services.TraceEvent
 	// recovery observability, fed live by the engine's event stream:
 	// how many times a task of this job was rescheduled mid-run, and the
 	// distinct hosts lost to failure (first-observed order).
@@ -449,6 +460,136 @@ func (j *Job) FailedHosts() []string {
 	return append([]string(nil), j.failedHosts...)
 }
 
+// metrics returns the pipeline's resolved metric handles, or nil for
+// jobs detached from a live pipeline (some tests).
+func (j *Job) metrics() *envMetrics {
+	if j.pipe == nil || j.pipe.env == nil {
+		return nil
+	}
+	return j.pipe.env.obsM
+}
+
+// logger returns the pipeline's structured logger, or a discarding one.
+func (j *Job) logger() *slog.Logger {
+	if j.pipe == nil || j.pipe.env == nil || j.pipe.env.log == nil {
+		return discardLog
+	}
+	return j.pipe.env.log
+}
+
+// stampLocked appends one trace event under j.mu, clamping the
+// timestamp so the trace is non-decreasing even across wall-clock
+// steps (recovered jobs mix persisted wall times with fresh monotonic
+// readings). Returns the timestamp actually recorded.
+func (j *Job) stampLocked(event, detail string, at time.Time) time.Time {
+	if n := len(j.trace); n > 0 && at.Before(j.trace[n-1].At) {
+		at = j.trace[n-1].At
+	}
+	j.trace = append(j.trace, services.TraceEvent{At: at, Event: event, Detail: detail})
+	return at
+}
+
+// stampEvent appends a point event (park, unpark, reschedule, failure)
+// to the trace.
+func (j *Job) stampEvent(event, detail string) {
+	j.mu.Lock()
+	j.stampLocked(event, detail, time.Now())
+	j.mu.Unlock()
+}
+
+// stampAdmitted records admission-queue entry at the given instant and
+// returns the submit-wait duration (zero when unknowable).
+func (j *Job) stampAdmitted(at time.Time) time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.admitted = at
+	j.stampLocked(services.PhaseAdmitted, "", at)
+	if j.submitted.IsZero() {
+		return 0
+	}
+	if d := at.Sub(j.submitted); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// stampScheduled records schedule completion and observes the
+// queue-wait phase (admitted → scheduled).
+func (j *Job) stampScheduled() {
+	now := time.Now()
+	j.mu.Lock()
+	j.scheduled = now
+	j.stampLocked(services.PhaseScheduled, "", now)
+	wait := time.Duration(0)
+	if !j.admitted.IsZero() {
+		wait = now.Sub(j.admitted)
+	}
+	j.mu.Unlock()
+	if m := j.metrics(); m != nil && wait > 0 {
+		m.phaseQueueWait.Observe(wait.Seconds())
+	}
+}
+
+// stampDispatched records run-slot dispatch and observes the
+// dispatch-wait phase (scheduled → dispatched, including host-quota
+// parks and run-slot waits).
+func (j *Job) stampDispatched() {
+	now := time.Now()
+	j.mu.Lock()
+	j.dispatched = now
+	j.stampLocked(services.PhaseDispatched, "", now)
+	wait := time.Duration(0)
+	if !j.scheduled.IsZero() {
+		wait = now.Sub(j.scheduled)
+	}
+	j.mu.Unlock()
+	if m := j.metrics(); m != nil && wait > 0 {
+		m.phaseDispatchWait.Observe(wait.Seconds())
+	}
+}
+
+// timingsLocked derives the phase-boundary block from the stamps;
+// caller holds j.mu.
+func (j *Job) timingsLocked() *services.JobTimings {
+	secs := func(from, to time.Time) float64 {
+		if from.IsZero() || to.IsZero() {
+			return 0
+		}
+		if d := to.Sub(from); d > 0 {
+			return d.Seconds()
+		}
+		return 0
+	}
+	return &services.JobTimings{
+		SubmittedAt:         j.submitted,
+		AdmittedAt:          j.admitted,
+		ScheduledAt:         j.scheduled,
+		DispatchedAt:        j.dispatched,
+		RunningAt:           j.started,
+		FinishedAt:          j.finished,
+		SubmitWaitSeconds:   secs(j.submitted, j.admitted),
+		QueueWaitSeconds:    secs(j.admitted, j.scheduled),
+		DispatchWaitSeconds: secs(j.scheduled, j.dispatched),
+		RunSeconds:          secs(j.started, j.finished),
+		TotalSeconds:        secs(j.submitted, j.finished),
+	}
+}
+
+// Trace returns the job's ordered lifecycle trace: every phase
+// boundary crossed so far plus recovery point events, with the derived
+// timings block.
+func (j *Job) Trace() services.JobTrace {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return services.JobTrace{
+		ID:      j.ID,
+		Owner:   j.Owner,
+		State:   j.state.String(),
+		Events:  append([]services.TraceEvent(nil), j.trace...),
+		Timings: j.timingsLocked(),
+	}
+}
+
 // execEvent consumes the engine's recovery event stream for this job,
 // keeping the status' reschedule/failed-host view live while the run is
 // still in flight. A reschedule's replacement host is charged against
@@ -460,6 +601,7 @@ func (j *Job) execEvent(ev exec.Event) {
 	switch ev.Type {
 	case exec.EventRescheduled:
 		j.reschedules++
+		j.stampLocked("rescheduled", ev.Host, time.Now())
 		typ = jobsapi.EventRescheduled
 	case exec.EventHostFailure:
 		if j.failedSeen == nil {
@@ -469,12 +611,21 @@ func (j *Job) execEvent(ev exec.Event) {
 			j.failedSeen[ev.Host] = true
 			j.failedHosts = append(j.failedHosts, ev.Host)
 		}
+		j.stampLocked("host-failure", ev.Host, time.Now())
 		typ = jobsapi.EventHostFailure
 	default:
 		j.mu.Unlock()
 		return
 	}
 	j.mu.Unlock()
+	if m := j.metrics(); m != nil {
+		switch ev.Type {
+		case exec.EventRescheduled:
+			m.reschedules.Inc()
+		case exec.EventHostFailure:
+			m.hostFailures.Inc()
+		}
+	}
 	if ev.Type == exec.EventRescheduled && j.pipe != nil {
 		hosts := ev.Hosts
 		if len(hosts) == 0 {
@@ -521,6 +672,7 @@ func (j *Job) statusSnapshot() services.JobStatus {
 		SubmittedAt: j.submitted,
 		StartedAt:   j.started,
 		FinishedAt:  j.finished,
+		Timings:     j.timingsLocked(),
 	}
 	if !j.deadline.IsZero() {
 		s.Deadline = j.deadline
@@ -612,7 +764,7 @@ func (j *Job) transition(s JobState) {
 	j.mu.Lock()
 	j.state = s
 	if s == JobRunning && j.started.IsZero() {
-		j.started = time.Now()
+		j.started = j.stampLocked(services.PhaseRunning, "", time.Now())
 	}
 	j.mu.Unlock()
 	j.publish()
@@ -640,12 +792,47 @@ func (j *Job) terminalize(state JobState, err error, res *exec.Result) bool {
 	j.state = state
 	j.err = err
 	j.result = res
-	j.finished = time.Now()
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	j.finished = j.stampLocked(state.String(), detail, time.Now())
 	j.hostsHeld = 0
 	expiry := j.expiry
+	runDur := time.Duration(0)
+	if !j.started.IsZero() {
+		runDur = j.finished.Sub(j.started)
+	}
+	totalDur := time.Duration(0)
+	if !j.submitted.IsZero() {
+		totalDur = j.finished.Sub(j.submitted)
+	}
 	j.mu.Unlock()
 	if expiry != nil {
 		expiry.Stop()
+	}
+	if m := j.metrics(); m != nil {
+		if runDur > 0 {
+			m.phaseRun.Observe(runDur.Seconds())
+		}
+		if totalDur > 0 {
+			m.phaseTotal.Observe(totalDur.Seconds())
+		}
+		switch state {
+		case JobDone:
+			m.completedDone.Inc()
+		case JobFailed:
+			m.completedFailed.Inc()
+		case JobCanceled:
+			m.completedCanceled.Inc()
+		}
+	}
+	if err != nil {
+		j.logger().Warn("job finished", "job_id", j.ID, "owner", j.Owner,
+			"state", state.String(), "error", err.Error(), "total_seconds", totalDur.Seconds())
+	} else {
+		j.logger().Info("job finished", "job_id", j.ID, "owner", j.Owner,
+			"state", state.String(), "total_seconds", totalDur.Seconds())
 	}
 	j.noteReplayDone()
 	// Return the job's in-flight and held-host quota charges before the
@@ -800,9 +987,15 @@ func startPipeline(ctx context.Context, env *Environment, cfg PipelineConfig, st
 		p.events = jobsapi.NewBrokerAt(cfg.EventBuffer, st.EventCursor(), func(cur uint64) {
 			st.NoteEventCursor(cur)
 		})
+		if env.Obs != nil {
+			p.events.Instrument(env.Obs)
+		}
 		adopt = p.loadRecovered(st.Recovered())
 	} else {
 		p.events = jobsapi.NewBroker(cfg.EventBuffer)
+		if env.Obs != nil {
+			p.events.Instrument(env.Obs)
+		}
 	}
 	// Queue capacity: the configured depth plus one slot per re-adopted
 	// job, so recovery never deadlocks on its own backpressure when the
@@ -821,6 +1014,7 @@ func startPipeline(ctx context.Context, env *Environment, cfg PipelineConfig, st
 		job.replayPending = true
 		job.mu.Unlock()
 		p.slots <- struct{}{}
+		job.stampAdmitted(time.Now())
 		p.admit.adoptQueued(job)
 		if !job.deadline.IsZero() {
 			job.mu.Lock()
@@ -931,26 +1125,50 @@ func (p *pipeline) loadRecovered(rs *store.State) []*Job {
 			job.recovered = rec.State != services.JobStateQueued
 			job.started = time.Time{}
 		}
+		// Seed the lifecycle trace: every recovered job's chain starts at
+		// its original submission; terminal restores get their terminal
+		// stamp synthesized so recovered traces satisfy the same
+		// complete-chain contract as live ones.
+		job.stampLocked(services.PhaseSubmitted, "", rec.SubmittedAt)
+		m := p.env.obsM
 		if terminal {
 			if job.finished.IsZero() {
 				job.finished = rec.SubmittedAt
 			}
+			detail := ""
+			if job.err != nil {
+				detail = job.err.Error()
+			}
+			job.finished = job.stampLocked(job.state.String(), detail, job.finished)
 			close(job.done)
 			if expired {
 				p.recovery.DeadlineExpiredAtReplay++
+				if m != nil {
+					m.recoveryExpired.Inc()
+				}
 				job.publish()
 				p.persistState(job)
 			} else {
 				p.recovery.TerminalRetained++
+				if m != nil {
+					m.recoveryTerminal.Inc()
+				}
 				// Restore the board row without publishing a stream event: a
 				// reboot is not a lifecycle transition.
 				p.env.Board.Update(job.statusSnapshot())
 			}
 		} else {
+			job.stampLocked("recovered", rec.State, time.Now())
 			if job.recovered {
 				p.recovery.InFlightRedispatched++
+				if m != nil {
+					m.recoveryRedispatched.Inc()
+				}
 			} else {
 				p.recovery.QueuedRecovered++
+				if m != nil {
+					m.recoveryRequeued.Inc()
+				}
 			}
 			adopt = append(adopt, job)
 		}
@@ -1040,6 +1258,7 @@ func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
 	}
 	if serr := p.preAdmitShed(spec); serr != nil {
 		p.meter.record(true)
+		p.countShed(serr.Reason, spec.owner)
 		return nil, serr
 	}
 	// Claim the owner's queued-jobs quota first: the reservation covers
@@ -1047,6 +1266,10 @@ func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
 	// and is returned when the job pops, is removed, or dies before
 	// reaching the queue.
 	if err := p.admit.reserveQueued(spec.owner); err != nil {
+		if m := p.env.obsM; m != nil {
+			m.rejectQuota.Inc()
+		}
+		p.log().Info("submission rejected", "owner", spec.owner, "reason", "quota")
 		return nil, err
 	}
 	// With shedding on, the queue slot is claimed before the job handle
@@ -1063,6 +1286,7 @@ func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
 		case <-timer.C:
 			p.admit.unreserveQueued(spec.owner)
 			p.meter.record(true)
+			p.countShed(ShedQueueFull, spec.owner)
 			return nil, p.shed.shedError(ShedQueueFull,
 				fmt.Sprintf("queue of %d full for %v", p.cfg.QueueDepth, p.shed.MaxSubmitWait))
 		case <-ctx.Done():
@@ -1111,6 +1335,9 @@ func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
 	// binary-searches this order.
 	now := time.Now()
 	job.submitted, job.enqueued = now, now
+	job.mu.Lock()
+	job.stampLocked(services.PhaseSubmitted, "", now)
+	job.mu.Unlock()
 	p.jobs = append(p.jobs, job)
 	for i := len(p.jobs) - 1; i > 0 && canonicalBefore(p.jobs[i], p.jobs[i-1]); i-- {
 		p.jobs[i], p.jobs[i-1] = p.jobs[i-1], p.jobs[i]
@@ -1149,8 +1376,14 @@ func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
 		p.admit.unreserveQueued(spec.owner)
 		return nil, ErrJobCanceled
 	}
+	wait := job.stampAdmitted(time.Now())
 	p.admit.push(job)
 	p.meter.record(false)
+	if m := p.env.obsM; m != nil {
+		m.submitWait.Observe(wait.Seconds())
+		m.accepted.Inc()
+	}
+	p.log().Debug("job admitted", "job_id", job.ID, "owner", job.Owner)
 	if !job.deadline.IsZero() {
 		// Drop the job at its deadline if it is still queued then, so it
 		// does not pin a queue slot or block Wait callers until a worker
@@ -1166,6 +1399,30 @@ func (p *pipeline) submit(ctx context.Context, spec submitSpec) (*Job, error) {
 // releaseSlot returns one unit of queue capacity after a job leaves the
 // admission queue (popped by a worker or removed by Cancel).
 func (p *pipeline) releaseSlot() { <-p.slots }
+
+// log returns the environment's structured logger, or a discarding one.
+func (p *pipeline) log() *slog.Logger {
+	if p.env == nil || p.env.log == nil {
+		return discardLog
+	}
+	return p.env.log
+}
+
+// countShed feeds one admission rejection into the per-reason counter
+// and the structured log.
+func (p *pipeline) countShed(reason, owner string) {
+	if m := p.env.obsM; m != nil {
+		switch reason {
+		case ShedQueueFull:
+			m.rejectQueueFull.Inc()
+		case ShedDeadlineInfeasible:
+			m.rejectDeadline.Inc()
+		case ShedBreakerSaturated:
+			m.rejectBreaker.Inc()
+		}
+	}
+	p.log().Info("submission shed", "owner", owner, "reason", reason)
+}
 
 // services resolves the scheduling services for home site i, caching
 // successes. Concurrent rounds from different home sites share nothing
@@ -1251,13 +1508,18 @@ func (p *pipeline) process(job *Job) {
 		p.gauge()
 		return
 	}
+	roundStart := time.Now()
 	table, err := sched.Schedule(job.Graph, cost)
+	if m := p.env.obsM; m != nil {
+		m.roundLatency.Observe(time.Since(roundStart).Seconds())
+	}
 	if err != nil {
 		job.fail(err)
 		p.gauge()
 		return
 	}
 	job.setTable(table)
+	job.stampScheduled()
 
 	// Held-hosts quota: charge the placement's distinct hosts against
 	// the owner. An owner at its cap does not hold the worker hostage —
@@ -1272,6 +1534,11 @@ func (p *pipeline) process(job *Job) {
 		// waits in the queue — scheduled against fresh resource state
 		// when its turn comes.
 		p.admit.setParked(job, true)
+		job.stampEvent("host-park", "")
+		if m := p.env.obsM; m != nil {
+			m.hostParks.Inc()
+		}
+		p.log().Debug("job parked on held-hosts quota", "job_id", job.ID, "owner", job.Owner)
 		go p.parkForHosts(job, table, needed)
 		return
 	}
@@ -1326,6 +1593,7 @@ func (p *pipeline) parkForHosts(job *Job, table *core.AllocationTable, needed []
 		if p.admit.tryChargeHosts(job, needed) {
 			p.admit.setParked(job, false)
 			p.wake()
+			job.stampEvent("host-unpark", "")
 			job.noteHostsHeld(len(needed))
 			p.dispatch(job, table)
 			return
@@ -1407,6 +1675,7 @@ func (p *pipeline) jobReleased(j *Job) {
 // terminalizes it.
 func (p *pipeline) execute(job *Job, table *core.AllocationTable) {
 	defer func() { <-p.runSem }()
+	job.stampDispatched()
 	runCtx := p.ctx
 	var cancels []context.CancelFunc
 	if !job.deadline.IsZero() {

@@ -38,6 +38,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -51,6 +52,7 @@ import (
 	"vdce/internal/exec"
 	"vdce/internal/jobsapi"
 	"vdce/internal/netmodel"
+	"vdce/internal/obs"
 	"vdce/internal/protocol"
 	"vdce/internal/repository"
 	"vdce/internal/services"
@@ -124,6 +126,15 @@ type Config struct {
 	// Store tunes the durable store (flush interval, compaction cadence)
 	// when StoreDir is set; the zero value takes the store defaults.
 	Store store.Options
+	// Obs is the metrics registry every subsystem records into
+	// (admission, scheduler rounds, exec, breakers, WAL, event broker,
+	// job phase histograms). Nil creates a fresh registry — there is
+	// always one; pass a shared registry to aggregate several
+	// environments onto one /metrics page.
+	Obs *obs.Registry
+	// Logger receives structured logs with job_id/owner correlation from
+	// the pipeline, engine, and recovery paths. Nil discards.
+	Logger *slog.Logger
 }
 
 // Environment is a fully wired VDCE instance.
@@ -148,11 +159,18 @@ type Environment struct {
 	// Store is the durable control-plane log (non-nil when
 	// Config.StoreDir was set).
 	Store *store.Store
+	// Obs is the metrics registry behind GET /metrics: every subsystem's
+	// counters, gauges, and histograms. Always non-nil.
+	Obs *obs.Registry
 
 	mu            sync.Mutex // guards remoteClients
 	remoteClients []*control.RemoteSite
 	cancel        context.CancelFunc
 	pipe          *pipeline
+	// obsM holds the pre-resolved hot-path metric handles; log is the
+	// structured logger (discarding when Config.Logger was nil).
+	obsM *envMetrics
+	log  *slog.Logger
 }
 
 // New builds and starts an Environment.
@@ -168,7 +186,16 @@ func New(cfg Config) (*Environment, error) {
 		Console:  services.NewConsole(),
 		Metrics:  services.NewMetrics(),
 		Board:    services.NewJobBoard(),
+		Obs:      cfg.Obs,
+		log:      cfg.Logger,
 	}
+	if env.Obs == nil {
+		env.Obs = obs.NewRegistry()
+	}
+	if env.log == nil {
+		env.log = discardLog
+	}
+	env.obsM = newEnvMetrics(env.Obs)
 	// Install the task catalog and a default account at every site.
 	for _, site := range tb.Sites {
 		names := make([]string, len(site.Hosts))
@@ -191,6 +218,9 @@ func New(cfg Config) (*Environment, error) {
 	var st *store.Store
 	if cfg.StoreDir != "" {
 		var err error
+		if cfg.Store.Metrics == nil {
+			cfg.Store.Metrics = env.Obs
+		}
 		st, err = store.Open(cfg.StoreDir, cfg.Store)
 		if err != nil {
 			return nil, err
@@ -299,7 +329,11 @@ func New(cfg Config) (*Environment, error) {
 
 	var reschedOpts []exec.ReschedulerOption
 	if cfg.StartBreakers {
-		env.Breakers = breaker.New(cfg.Breaker)
+		// Breaker transitions feed the shared opens counter and the
+		// structured log on top of any caller-installed hook.
+		bcfg := cfg.Breaker
+		bcfg.OnTransition = breakerHook(env.obsM, env.log, cfg.Breaker.OnTransition)
+		env.Breakers = breaker.New(bcfg)
 		reschedOpts = append(reschedOpts, exec.WithBreakers(env.Breakers))
 	}
 	env.Engine = &exec.Engine{
@@ -312,6 +346,7 @@ func New(cfg Config) (*Environment, error) {
 		Breakers:      env.Breakers,
 		Console:       env.Console,
 		Metrics:       env.Metrics,
+		Log:           cfg.Logger,
 	}
 	env.Engine.Record = func(rec protocol.ExecutionRecord) {
 		// Route the record to the owning site's task-performance DB; the
@@ -363,6 +398,15 @@ func New(cfg Config) (*Environment, error) {
 		}
 	}
 	env.pipe = startPipeline(ctx, env, cfg.Pipeline, st)
+	env.registerDerived(env.Obs)
+	if st != nil {
+		r := env.pipe.recovery
+		env.log.Info("recovery replay complete",
+			"queued_recovered", r.QueuedRecovered,
+			"inflight_redispatched", r.InFlightRedispatched,
+			"terminal_retained", r.TerminalRetained,
+			"deadline_expired", r.DeadlineExpiredAtReplay)
+	}
 	return env, nil
 }
 
@@ -690,7 +734,24 @@ func (env *Environment) JobsHandler(cfg jobsapi.Config) http.Handler {
 	if !cfg.RateLimit.Enabled() {
 		cfg.RateLimit = env.pipe.cfg.APIRate
 	}
+	if cfg.Metrics == nil {
+		// Every mount shares the environment's registry, so per-owner
+		// throttle counters aggregate across mounts and /v1/owners can
+		// never disagree with /metrics.
+		cfg.Metrics = env.Obs
+	}
 	return jobsapi.Handler(cfg)
+}
+
+// JobTrace returns the lifecycle trace of one retained job. It
+// satisfies jobsapi.TraceSource, so mounting the jobs API on an
+// Environment exposes traces as GET /v1/jobs/{id}/trace.
+func (env *Environment) JobTrace(id string) (services.JobTrace, bool) {
+	j, ok := env.pipe.job(id)
+	if !ok {
+		return services.JobTrace{}, false
+	}
+	return j.Trace(), true
 }
 
 // Hosts reports every testbed host's health snapshot — host-model
@@ -725,7 +786,10 @@ func (env *Environment) Hosts() []services.HostStatus {
 				hs.Breaker = b.State
 				hs.FailureRate = b.FailureRate
 				hs.Samples = b.Samples
-				hs.BreakerOpens = b.Opens
+				// Opens come from the shared registry counter (fed by the
+				// OnTransition hook), the same cell /metrics exposes, so the
+				// two surfaces cannot disagree.
+				hs.BreakerOpens = int(env.obsM.breakerOpens.Value(h.Name))
 			}
 			out = append(out, hs)
 		}
