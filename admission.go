@@ -97,6 +97,20 @@ func (e *QuotaError) Is(target error) bool { return target == ErrQuotaExceeded }
 // credit, and a saturated owner cannot run up debt that would silence
 // it later.
 //
+// Arbitration is O(log owners) per pop via the eligible-owner index:
+// the smoothing max() splits eligible owners into exactly two groups —
+// owners at or behind the queue clock (vfinish <= vtime), whose charge
+// points all equal vtime and therefore tie, resolved by name; and
+// owners ahead of the clock (vfinish > vtime), whose charge points are
+// their own finish times. The index keeps the first group in a min-heap
+// by name (q.lagged) and the second in a min-heap by (vfinish, name)
+// (q.ahead); the lagged top always beats every ahead owner, so the
+// winner is one peek. vtime only ever advances, so ahead owners it
+// overtakes migrate to lagged at most once per pop they earned —
+// amortized O(log owners). pickOwnerLinearLocked retains the pre-index
+// linear scan as the reference the property suite and the 10k-owner
+// bench compare against.
+//
 // The queue also carries the per-owner quota ledger (queued
 // reservations, in-flight jobs, held hosts): eligibility for a pop
 // requires the owner to be under its in-flight cap, which is how
@@ -112,13 +126,25 @@ type admitQueue struct {
 	quota QuotaConfig
 	seq   uint64
 	vtime float64 // queue-wide virtual clock: charge point of the last pop
-	// owners holds every owner ever seen; idle owners keep their weight
-	// and usage counters (a handful of words each) so quota accounting
-	// and /v1/owners survive queue-empty moments.
+	// owners holds every owner with live queue state: backlog, quota
+	// reservations, in-flight charges, or admin pins. Shares that drain
+	// to nothing are pruned (see maybePruneLocked), so churning one-shot
+	// owners do not grow the map, the position replay, or /v1/owners
+	// without bound.
 	owners map[string]*ownerShare
-	// changed is the usage broadcast: closed and replaced whenever
-	// in-flight or held-host usage frees, waking parked dispatches.
-	changed chan struct{}
+	// loc maps every queued job ID to its owner and sub-heap slot,
+	// maintained through every heap swap — remove (cancel) and the
+	// position membership probe are O(1) lookups instead of scans over
+	// every owner's backlog.
+	loc map[string]jobLoc
+	// lagged/ahead: the eligible-owner index (see the type comment).
+	lagged ownerHeap
+	ahead  ownerHeap
+	// queued is the total backlog across owners, so depth gauges do not
+	// iterate the owner map.
+	queued int
+	// prunes counts owner shares retired by maybePruneLocked (metrics).
+	prunes uint64
 	// gen counts the mutations that can change the arbitration replay's
 	// output — push (new job, possible weight change), pop (backlog and
 	// virtual clocks move), remove (backlog shrinks). posCache memoizes
@@ -131,10 +157,18 @@ type admitQueue struct {
 	posCache map[string]int
 }
 
+// jobLoc is one queued job's location: its owner's share and its index
+// in the owner's sub-heap slice.
+type jobLoc struct {
+	os  *ownerShare
+	idx int
+}
+
 // ownerShare is one owner's sub-queue plus its fair-share and quota
 // state. All fields are guarded by admitQueue.mu.
 type ownerShare struct {
 	name string
+	q    *admitQueue  // back-pointer for the job-location index
 	jobs []admitEntry // aging-rank max-heap
 	// weight is the owner's fair-share weight (>= 1); the latest
 	// submitted job's resolved weight wins.
@@ -142,6 +176,10 @@ type ownerShare struct {
 	// vfinish is the owner's virtual finish time: the charge point of
 	// its last pop plus 1/weight.
 	vfinish float64
+	// where/hidx: membership in the eligible-owner index — which heap
+	// (heapNone when ineligible) and at which slot.
+	where int8
+	hidx  int
 	// reserved counts the owner's queued jobs, from admission-quota
 	// reservation (before the submitter even waits for a queue slot)
 	// until pop or removal.
@@ -153,11 +191,18 @@ type ownerShare struct {
 	hostsHeld int
 	// parked counts the owner's jobs parked on the held-hosts cap.
 	// While any is parked the owner is ineligible for pops, so parked
-	// dispatch goroutines are bounded per owner by the scheduler worker
-	// count (workers that popped before the first park landed can add
-	// one each) — a capped owner's backlog waits in the queue, not in a
-	// growing pile of goroutines holding stale placements.
+	// dispatch goroutines are bounded per owner by the scheduler's
+	// worker count times its dispatch batch (workers that popped before
+	// the first park landed can add up to a batch each) — a capped
+	// owner's backlog waits in the queue, not in a growing pile of
+	// goroutines holding stale placements.
 	parked int
+	// changed is this owner's usage broadcast: closed (and lazily
+	// remade) when the owner's in-flight or held-host usage frees or
+	// its caps change, waking only this owner's parked dispatches —
+	// terminal jobs elsewhere no longer thunder through every parked
+	// goroutine in the system.
+	changed chan struct{}
 	// pinned marks a weight set by the owner-admin endpoint: submissions
 	// no longer override it (normally the latest job's resolved share
 	// weight wins).
@@ -167,12 +212,94 @@ type ownerShare struct {
 	caps *QuotaConfig
 }
 
+// Eligible-owner index heap identifiers.
+const (
+	heapNone int8 = iota
+	heapLagged
+	heapAhead
+)
+
+// ownerHeap is one half of the eligible-owner index: a hand-rolled
+// min-heap of owner shares ordered by name (lagged group — every member
+// charges at the queue clock, so only the tie-break matters) or by
+// (vfinish, name) (ahead group). Members carry their slot in hidx so
+// arbitrary removal is O(log n).
+type ownerHeap struct {
+	id    int8
+	items []*ownerShare
+}
+
+func (h *ownerHeap) less(a, b *ownerShare) bool {
+	if h.id == heapAhead && a.vfinish != b.vfinish {
+		return a.vfinish < b.vfinish
+	}
+	return a.name < b.name
+}
+
+func (h *ownerHeap) push(os *ownerShare) {
+	os.where = h.id
+	os.hidx = len(h.items)
+	h.items = append(h.items, os)
+	h.up(os.hidx)
+}
+
+func (h *ownerHeap) removeAt(i int) *ownerShare {
+	os := h.items[i]
+	last := len(h.items) - 1
+	h.items[i] = h.items[last]
+	h.items[last] = nil
+	h.items = h.items[:last]
+	if i < last {
+		h.items[i].hidx = i
+		h.down(i)
+		h.up(i)
+	}
+	os.where = heapNone
+	os.hidx = -1
+	return os
+}
+
+func (h *ownerHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		h.items[i].hidx = i
+		i = parent
+	}
+	h.items[i].hidx = i
+}
+
+func (h *ownerHeap) down(i int) {
+	n := len(h.items)
+	for {
+		best := i
+		if l := 2*i + 1; l < n && h.less(h.items[l], h.items[best]) {
+			best = l
+		}
+		if r := 2*i + 2; r < n && h.less(h.items[r], h.items[best]) {
+			best = r
+		}
+		if best == i {
+			break
+		}
+		h.items[i], h.items[best] = h.items[best], h.items[i]
+		h.items[i].hidx = i
+		i = best
+	}
+	h.items[i].hidx = i
+}
+
 func newAdmitQueue(step time.Duration, quota QuotaConfig) *admitQueue {
 	return &admitQueue{
-		step:    step,
-		quota:   quota,
-		owners:  make(map[string]*ownerShare),
-		changed: make(chan struct{}),
+		step:   step,
+		quota:  quota,
+		owners: make(map[string]*ownerShare),
+		loc:    make(map[string]jobLoc),
+		lagged: ownerHeap{id: heapLagged},
+		ahead:  ownerHeap{id: heapAhead},
 	}
 }
 
@@ -181,10 +308,66 @@ func newAdmitQueue(step time.Duration, quota QuotaConfig) *admitQueue {
 func (q *admitQueue) owner(name string) *ownerShare {
 	os, ok := q.owners[name]
 	if !ok {
-		os = &ownerShare{name: name, weight: 1}
+		os = &ownerShare{name: name, q: q, weight: 1, hidx: -1}
 		q.owners[name] = os
 	}
 	return os
+}
+
+// reindexLocked places an owner in, moves it within, or drops it from
+// the eligible-owner index to match its current eligibility and charge
+// point. Call after any mutation that can change either: backlog size,
+// in-flight count, parked count, caps, or vfinish. Caller holds q.mu.
+func (q *admitQueue) reindexLocked(os *ownerShare) {
+	q.detachLocked(os)
+	if !q.eligible(os) {
+		return
+	}
+	if os.vfinish <= q.vtime {
+		q.lagged.push(os)
+	} else {
+		q.ahead.push(os)
+	}
+}
+
+// detachLocked removes an owner from whichever index heap holds it.
+// Caller holds q.mu.
+func (q *admitQueue) detachLocked(os *ownerShare) {
+	switch os.where {
+	case heapLagged:
+		q.lagged.removeAt(os.hidx)
+	case heapAhead:
+		q.ahead.removeAt(os.hidx)
+	}
+}
+
+// migrateLocked moves ahead-group owners the advancing queue clock has
+// overtaken into the lagged group, restoring the index invariant that
+// every eligible owner with vfinish <= vtime sits in q.lagged. Each
+// migration is paid for by the pop that advanced the clock past the
+// owner, so the amortized cost stays O(log owners). Caller holds q.mu.
+func (q *admitQueue) migrateLocked() {
+	for len(q.ahead.items) > 0 && q.ahead.items[0].vfinish <= q.vtime {
+		q.lagged.push(q.ahead.removeAt(0))
+	}
+}
+
+// maybePruneLocked retires an owner share that holds no state at all —
+// no backlog, reservations, in-flight or host charges, parks, and no
+// admin pin or quota override — so churning one-shot owners leave the
+// queue at steady-state size. A pruned owner that returns resumes at
+// the queue clock, which the smoothing max() already guarantees for
+// any idle owner; the only forgotten state is at most one pop's 1/w of
+// un-elapsed virtual debt, which an owner can only shed by fully
+// draining first. Caller holds q.mu.
+func (q *admitQueue) maybePruneLocked(os *ownerShare) {
+	if len(os.jobs) != 0 || os.reserved != 0 || os.inFlight != 0 || os.hostsHeld != 0 ||
+		os.parked != 0 || os.pinned || os.caps != nil {
+		return
+	}
+	q.detachLocked(os)
+	delete(q.owners, os.name)
+	q.prunes++
 }
 
 // rank computes the static within-owner heap key for a job admitted at
@@ -214,6 +397,7 @@ func (q *admitQueue) reserveQueued(owner string) error {
 	defer q.mu.Unlock()
 	os := q.owner(owner)
 	if cap := q.capsFor(os).MaxQueuedPerOwner; cap > 0 && os.reserved >= cap {
+		q.maybePruneLocked(os) // a rejected first contact must not leave a share behind
 		return &QuotaError{Owner: owner, Resource: "queued-jobs", Limit: cap, Used: os.reserved}
 	}
 	os.reserved++
@@ -227,22 +411,18 @@ func (q *admitQueue) reserveQueued(owner string) error {
 func (q *admitQueue) adoptQueued(j *Job) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	q.owner(j.Owner).reserved++
-	q.seq++
-	q.gen++
 	os := q.owner(j.Owner)
-	if j.shareWeight >= 1 && !os.pinned {
-		os.weight = clampShareWeight(j.shareWeight)
-	}
-	os.jobs = append(os.jobs, admitEntry{job: j, rank: q.rank(j.priority, j.enqueued), seq: q.seq})
-	os.up(len(os.jobs) - 1)
+	os.reserved++
+	q.pushLocked(os, j)
 }
 
 // unreserveQueued returns a reservation for a submission that never
 // reached push (canceled or failed while waiting for a queue slot).
 func (q *admitQueue) unreserveQueued(owner string) {
 	q.mu.Lock()
-	q.owner(owner).reserved--
+	os := q.owner(owner)
+	os.reserved--
+	q.maybePruneLocked(os)
 	q.mu.Unlock()
 }
 
@@ -254,14 +434,21 @@ func (q *admitQueue) unreserveQueued(owner string) {
 func (q *admitQueue) push(j *Job) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	q.pushLocked(q.owner(j.Owner), j)
+}
+
+// pushLocked is the shared body of push and adoptQueued. Caller holds
+// q.mu.
+func (q *admitQueue) pushLocked(os *ownerShare, j *Job) {
 	q.seq++
 	q.gen++
-	os := q.owner(j.Owner)
 	if j.shareWeight >= 1 && !os.pinned {
 		os.weight = clampShareWeight(j.shareWeight)
 	}
 	os.jobs = append(os.jobs, admitEntry{job: j, rank: q.rank(j.priority, j.enqueued), seq: q.seq})
 	os.up(len(os.jobs) - 1)
+	q.queued++
+	q.reindexLocked(os)
 }
 
 // capsFor returns the quota caps that govern an owner: its admin
@@ -301,16 +488,20 @@ func (q *admitQueue) setParked(j *Job, parked bool) {
 		return
 	}
 	j.hostParked = parked
+	os := q.owner(j.Owner)
 	if parked {
-		q.owner(j.Owner).parked++
+		os.parked++
 	} else {
-		q.owner(j.Owner).parked--
+		os.parked--
 	}
+	q.reindexLocked(os)
 }
 
-// The WFQ arbitration primitives, shared by pop (pickOwner) and the
-// position replay so the two can never drift apart (and pinned against
-// each other by TestAdmitPositionPredictsPopOrder).
+// The WFQ arbitration primitives, shared by pop (pickOwnerLocked), the
+// retained linear reference arbiter, and the position replay so the
+// three can never drift apart (pinned against each other by
+// TestAdmitPositionPredictsPopOrder and the indexed-vs-linear
+// equivalence suite).
 
 // chargePoint is the virtual time at which an owner's next pop is
 // charged: its own finish time, smoothed forward to the queue clock
@@ -332,9 +523,41 @@ func wfqWins(charge float64, name string, incCharge float64, incName string) boo
 // wfqCost is the virtual-time cost one pop charges an owner.
 func wfqCost(weight int) float64 { return 1 / float64(weight) }
 
-// pickOwner returns the eligible owner with the smallest virtual charge
-// point, advancing the virtual clocks. Caller holds q.mu.
-func (q *admitQueue) pickOwner() *ownerShare {
+// pickOwnerLocked returns the eligible owner with the smallest virtual
+// charge point in O(log owners), advancing the virtual clocks. The
+// winner is detached from the index; the caller mutates its backlog and
+// ledger and then reindexes it. Caller holds q.mu.
+//
+// Correctness of the two-group peek: every lagged owner charges at
+// exactly vtime; every ahead owner charges at its vfinish > vtime. So
+// when the lagged heap is non-empty its name-minimal top is the global
+// WFQ winner (all lagged owners tie, name breaks the tie, and no ahead
+// owner can charge that low); otherwise the ahead heap's
+// (vfinish, name)-minimal top is.
+func (q *admitQueue) pickOwnerLocked() *ownerShare {
+	var best *ownerShare
+	if len(q.lagged.items) > 0 {
+		best = q.lagged.items[0]
+	} else if len(q.ahead.items) > 0 {
+		best = q.ahead.items[0]
+	} else {
+		return nil
+	}
+	charge := chargePoint(best.vfinish, q.vtime)
+	q.detachLocked(best)
+	q.vtime = charge
+	best.vfinish = charge + wfqCost(best.weight)
+	q.migrateLocked()
+	return best
+}
+
+// pickOwnerLinearLocked is the pre-index O(owners) arbiter, retained as
+// the reference implementation: the randomized equivalence suite drives
+// it and pickOwnerLocked from one op stream and asserts identical pop
+// order, and BenchmarkAdmission10kOwners uses it as the scaling
+// baseline. It maintains the same index/clock state so the two are
+// interchangeable mid-stream. Caller holds q.mu.
+func (q *admitQueue) pickOwnerLinearLocked() *ownerShare {
 	var best *ownerShare
 	var bestCharge float64
 	for _, os := range q.owners {
@@ -346,11 +569,39 @@ func (q *admitQueue) pickOwner() *ownerShare {
 			best, bestCharge = os, charge
 		}
 	}
-	if best != nil {
-		q.vtime = bestCharge
-		best.vfinish = bestCharge + wfqCost(best.weight)
+	if best == nil {
+		return nil
 	}
+	q.detachLocked(best)
+	q.vtime = bestCharge
+	best.vfinish = bestCharge + wfqCost(best.weight)
+	q.migrateLocked()
 	return best
+}
+
+// popOneLocked drains one job from the owner the arbiter selects,
+// charging the owner's in-flight ledger. The linear flag picks the
+// retained reference arbiter instead of the index (a flag, not a
+// function value, so the hot path does not allocate a method closure
+// per pop). Caller holds q.mu.
+func (q *admitQueue) popOneLocked(linear bool) *Job {
+	var os *ownerShare
+	if linear {
+		os = q.pickOwnerLinearLocked()
+	} else {
+		os = q.pickOwnerLocked()
+	}
+	if os == nil {
+		return nil
+	}
+	q.gen++
+	j := os.removeAt(0).job
+	os.reserved--
+	os.inFlight++
+	q.queued--
+	j.usageCharged = true
+	q.reindexLocked(os)
+	return j
 }
 
 // pop removes and returns the next job under weighted fair queuing, or
@@ -361,40 +612,58 @@ func (q *admitQueue) pickOwner() *ownerShare {
 func (q *admitQueue) pop() *Job {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	os := q.pickOwner()
-	if os == nil {
-		return nil
+	return q.popOneLocked(false)
+}
+
+// popLinear is pop arbitrated by the retained linear-scan reference.
+// Test and benchmark use only.
+func (q *admitQueue) popLinear() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.popOneLocked(true)
+}
+
+// popBatch appends up to max fairly-arbitrated jobs to buf under one
+// lock acquisition — the batched scheduler handoff: one worker wakeup
+// drains a batch instead of paying a lock round-trip and a wake token
+// per job. Semantically identical to max sequential pops.
+func (q *admitQueue) popBatch(buf []*Job, max int) []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(buf) < max {
+		j := q.popOneLocked(false)
+		if j == nil {
+			break
+		}
+		buf = append(buf, j)
 	}
-	q.gen++
-	j := os.removeAt(0).job
-	os.reserved--
-	os.inFlight++
-	j.usageCharged = true
-	return j
+	return buf
 }
 
 // remove deletes one job by ID, reporting whether it was found. Used by
-// Cancel to free the job's queue slot eagerly.
+// Cancel to free the job's queue slot eagerly. O(log backlog) via the
+// job-location index — a cancel storm no longer scans every owner's
+// entire backlog per call.
 func (q *admitQueue) remove(id string) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for _, os := range q.owners {
-		for i := range os.jobs {
-			if os.jobs[i].job.ID == id {
-				q.gen++
-				os.removeAt(i)
-				os.reserved--
-				return true
-			}
-		}
+	l, ok := q.loc[id]
+	if !ok {
+		return false
 	}
-	return false
+	q.gen++
+	l.os.removeAt(l.idx)
+	l.os.reserved--
+	q.queued--
+	q.reindexLocked(l.os)
+	q.maybePruneLocked(l.os)
+	return true
 }
 
 // release returns a terminal job's in-flight and held-host charges to
-// its owner and wakes parked dispatches. It reports whether anything
-// was freed (callers use that to wake idle workers exactly once).
-// Idempotent: only the first call after a pop frees anything.
+// its owner and wakes the owner's parked dispatches. It reports whether
+// anything was freed (callers use that to wake idle workers exactly
+// once). Idempotent: only the first call after a pop frees anything.
 func (q *admitQueue) release(j *Job) bool {
 	q.mu.Lock()
 	if !j.usageCharged {
@@ -413,8 +682,15 @@ func (q *admitQueue) release(j *Job) bool {
 		j.hostParked = false
 		os.parked--
 	}
-	close(q.changed)
-	q.changed = make(chan struct{})
+	if os.changed != nil {
+		// Wake only this owner's parked dispatches: freed usage is
+		// per-owner state, so terminalizing owner A's job must not
+		// thunder through every other owner's parked goroutines.
+		close(os.changed)
+		os.changed = nil
+	}
+	q.reindexLocked(os)
+	q.maybePruneLocked(os)
 	q.mu.Unlock()
 	return true
 }
@@ -469,40 +745,33 @@ func (q *admitQueue) chargeReplacementHost(j *Job, host string) (int, bool) {
 	return j.hostsCharged, true
 }
 
-// usageChanged returns the current usage broadcast channel: it closes
-// the next time in-flight or held-host usage frees. Parked dispatches
-// fetch it before re-checking quota so a release between check and
-// wait still wakes them.
-func (q *admitQueue) usageChanged() <-chan struct{} {
+// usageChanged returns the owner's current usage broadcast channel: it
+// closes the next time that owner's in-flight or held-host usage frees
+// (or its caps change). Parked dispatches fetch it before re-checking
+// quota so a release between check and wait still wakes them. The
+// channel is created lazily — owners with nothing parked never allocate
+// one.
+func (q *admitQueue) usageChanged(owner string) <-chan struct{} {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.changed
+	os := q.owner(owner)
+	if os.changed == nil {
+		os.changed = make(chan struct{})
+	}
+	return os.changed
 }
 
 // position returns the 1-based dequeue position of a queued job (1 =
 // next to pop), or 0 when the job is not queued — served from the same
 // cached arbitration replay positions() serves, so the single-job and
-// listing surfaces can never disagree and repeated polls of an
-// unchanged queue cost O(backlog) membership scan, not a replay each.
+// listing surfaces can never disagree. The membership probe is an O(1)
+// location-index lookup: Status() asks for jobs that have already
+// popped (or are not yet pushed) all the time, and those must not pay
+// for a replay — or, at scale, even a backlog scan.
 func (q *admitQueue) position(id string) int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	// Cheap O(backlog) membership scan first: Status() asks for jobs
-	// that have already popped (or are not yet pushed) all the time,
-	// and those must not pay for a full arbitration replay.
-	queued := false
-	for _, os := range q.owners {
-		for i := range os.jobs {
-			if os.jobs[i].job.ID == id {
-				queued = true
-				break
-			}
-		}
-		if queued {
-			break
-		}
-	}
-	if !queued {
+	if _, ok := q.loc[id]; !ok {
 		return 0
 	}
 	return q.positionsLocked()[id]
@@ -534,7 +803,7 @@ func (q *admitQueue) positionsLocked() map[string]int {
 // target stops the replay as soon as that job is placed. In-flight
 // caps are ignored — a parked job reports the position it will
 // dispatch from once its owner frees up. The replay uses the same
-// chargePoint / wfqWins / wfqCost primitives as pickOwner, and
+// chargePoint / wfqWins / wfqCost primitives as pickOwnerLocked, and
 // TestAdmitPositionPredictsPopOrder pins the agreement. Caller holds
 // q.mu.
 func (q *admitQueue) replayPositions(target string) map[string]int {
@@ -583,23 +852,36 @@ func (q *admitQueue) replayPositions(target string) map[string]int {
 }
 
 // queuedLen returns the total backlog size across owners (tests and
-// monitoring).
+// monitoring) — an O(1) counter read, so depth gauges cost nothing at
+// 10k owners.
 func (q *admitQueue) queuedLen() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	n := 0
-	for _, os := range q.owners {
-		n += len(os.jobs)
-	}
-	return n
+	return q.queued
+}
+
+// ownerCount returns how many owner shares the queue currently holds
+// (monitoring; with pruning this tracks live owners, not every owner
+// ever seen).
+func (q *admitQueue) ownerCount() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.owners)
+}
+
+// pruneCount returns how many idle owner shares have been retired.
+func (q *admitQueue) pruneCount() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.prunes
 }
 
 // setOwnerAdmin applies a runtime owner-admin update: a weight >= 1
 // pins the owner's fair-share weight against future submissions, and a
 // non-nil caps installs a per-owner quota override (replacing any
-// previous override wholesale). It wakes parked dispatches — a raised
-// cap may free them — and invalidates the position cache, since a
-// weight change reorders the arbitration replay.
+// previous override wholesale). It wakes the owner's parked dispatches
+// — a raised cap may free them — and invalidates the position cache,
+// since a weight change reorders the arbitration replay.
 func (q *admitQueue) setOwnerAdmin(name string, weight int, caps *QuotaConfig) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -613,21 +895,30 @@ func (q *admitQueue) setOwnerAdmin(name string, weight int, caps *QuotaConfig) {
 		os.caps = &c
 	}
 	q.gen++
-	close(q.changed)
-	q.changed = make(chan struct{})
+	if os.changed != nil {
+		close(os.changed)
+		os.changed = nil
+	}
+	q.reindexLocked(os)
+	q.maybePruneLocked(os)
 }
 
 // ownerAdmin reports an owner's effective admin state: weight, whether
-// it is pinned, the caps that govern it, and whether those caps are a
-// per-owner override (as opposed to the queue-wide config).
-func (q *admitQueue) ownerAdmin(name string) (weight int, pinned bool, caps QuotaConfig, override bool) {
+// it is pinned, the caps that govern it, whether those caps are a
+// per-owner override (as opposed to the queue-wide config), and whether
+// the queue currently holds a share for the owner at all. A read — it
+// does not materialize a share for unknown owners, which would leak
+// one per monitoring probe.
+func (q *admitQueue) ownerAdmin(name string) (weight int, pinned bool, caps QuotaConfig, override, known bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	os := q.owner(name)
-	return os.weight, os.pinned, q.capsFor(os), os.caps != nil
+	if os, ok := q.owners[name]; ok {
+		return os.weight, os.pinned, q.capsFor(os), os.caps != nil, true
+	}
+	return 1, false, q.quota, false, false
 }
 
-// ownerWeights snapshots each known owner's fair-share weight.
+// ownerWeights snapshots each live owner's fair-share weight.
 func (q *admitQueue) ownerWeights() map[string]int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -640,34 +931,46 @@ func (q *admitQueue) ownerWeights() map[string]int {
 
 // --- within-owner aging-rank heap ---
 
-// removeAt deletes index i, restoring the heap. Caller holds the
-// queue's mu.
+// setLoc records the job at heap slot i in the queue's location index.
+// Caller holds the queue's mu.
+func (os *ownerShare) setLoc(i int) {
+	os.q.loc[os.jobs[i].job.ID] = jobLoc{os: os, idx: i}
+}
+
+// removeAt deletes index i, restoring the heap and the location index.
+// Caller holds the queue's mu.
 func (os *ownerShare) removeAt(i int) admitEntry {
 	e := os.jobs[i]
+	delete(os.q.loc, e.job.ID)
 	last := len(os.jobs) - 1
 	os.jobs[i] = os.jobs[last]
 	os.jobs[last] = admitEntry{} // release the *Job reference
 	os.jobs = os.jobs[:last]
 	if i < last {
+		os.setLoc(i)
 		os.down(i)
 		os.up(i)
 	}
 	return e
 }
 
-// up sifts index i toward the root.
+// up sifts index i toward the root, keeping the location index current
+// through every swap.
 func (os *ownerShare) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !os.jobs[i].before(os.jobs[parent]) {
-			return
+			break
 		}
 		os.jobs[i], os.jobs[parent] = os.jobs[parent], os.jobs[i]
+		os.setLoc(i)
 		i = parent
 	}
+	os.setLoc(i)
 }
 
-// down sifts index i toward the leaves.
+// down sifts index i toward the leaves, keeping the location index
+// current through every swap.
 func (os *ownerShare) down(i int) {
 	n := len(os.jobs)
 	for {
@@ -679,11 +982,13 @@ func (os *ownerShare) down(i int) {
 			best = r
 		}
 		if best == i {
-			return
+			break
 		}
 		os.jobs[i], os.jobs[best] = os.jobs[best], os.jobs[i]
+		os.setLoc(i)
 		i = best
 	}
+	os.setLoc(i)
 }
 
 // admitEntry is one queued job with its precomputed admission rank.

@@ -1,0 +1,98 @@
+package vdce
+
+// Churn soak: a wave of one-shot owners floods a choked pipeline, a
+// cancel storm kills most of the backlog while it is queued, and the
+// survivors drain serialized. Acceptance (ISSUE 10): every canceled job
+// terminalizes as canceled, every survivor reaches a terminal state,
+// and — the owner-pruning contract under real pipeline traffic — the
+// admission queue returns to zero live owner shares once the wave is
+// terminal, while the board retains the rows. Runs bounded under
+// -short so the dedicated -race CI step stays quick.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"vdce/internal/services"
+	"vdce/internal/testbed"
+)
+
+func TestChurnSoakTransientOwnersCancelStorm(t *testing.T) {
+	ownersN, survivors := 96, 12
+	if testing.Short() {
+		ownersN, survivors = 36, 8
+	}
+
+	env := newEnv(t, Config{
+		Testbed: testbed.Config{Sites: 1, HostsPerGroup: 2, Seed: 404, BaseLoadMax: 0.2},
+		Pipeline: PipelineConfig{
+			QueueDepth:        ownersN + 8,
+			SchedulerWorkers:  1,
+			MaxConcurrentRuns: 1,
+		},
+	})
+	// Suspend execution while the wave submits and the storm runs: the
+	// first dispatched job parks at the console gate, so the rest of the
+	// backlog is guaranteed to still be queued when the cancels land.
+	env.Console.Suspend()
+	ctx := context.Background()
+
+	// One job per transient owner.
+	jobs := make([]*Job, ownersN)
+	for i := range jobs {
+		j, err := env.Submit(ctx, soakGraph(t, i), WithOwner(fmt.Sprintf("churn-%d", i)))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		jobs[i] = j
+	}
+
+	// Cancel storm: kill everything but the first `survivors` jobs. Most
+	// targets are still queued (exercising the location-index remove);
+	// any that already dispatched exercise the in-flight cancel path —
+	// both must terminalize as canceled.
+	for _, j := range jobs[survivors:] {
+		j.Cancel()
+	}
+	env.Console.Resume()
+
+	for i, j := range jobs {
+		if err := j.Wait(ctx); err != nil && i < survivors {
+			t.Fatalf("survivor %d (%s): %v", i, j.ID, err)
+		}
+	}
+	for _, j := range jobs[survivors:] {
+		if s := j.Status(); s.State != services.JobStateCanceled {
+			t.Fatalf("canceled job %s terminalized as %q, want %q", j.ID, s.State, services.JobStateCanceled)
+		}
+	}
+
+	// Every owner is now fully drained (no backlog, in-flight, hosts, or
+	// parks), so pruning must return the queue to steady-state size. The
+	// final release commits just before Wait observers unblock, so allow
+	// a short settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for env.pipe.admit.ownerCount() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("admission queue still tracks %d owner shares after the wave terminalized, want 0",
+				env.pipe.admit.ownerCount())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := env.pipe.admit.pruneCount(); n < uint64(ownersN) {
+		t.Fatalf("prune count = %d, want >= %d (one per transient owner)", n, ownersN)
+	}
+
+	// The board — not the queue — is the surviving record: every owner's
+	// rows and last-submitted weight remain readable after the prune.
+	usages := env.Board.OwnerUsages()
+	for i := 0; i < ownersN; i++ {
+		owner := fmt.Sprintf("churn-%d", i)
+		u, ok := usages[owner]
+		if !ok || u.Total != 1 {
+			t.Fatalf("board usage for %s = %+v (present=%v), want Total 1", owner, u, ok)
+		}
+	}
+}

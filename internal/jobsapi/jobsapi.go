@@ -146,6 +146,16 @@ type Source interface {
 	UpdateOwner(owner string, upd services.OwnerUpdate) (services.OwnerStatus, error)
 }
 
+// CountSource is the optional Source extension behind the count-only
+// listing (explicit limit=0): the filtered total without materializing
+// a single row. Sources backed by a counting store (the sharded job
+// board keeps per-state and per-owner tallies) answer in O(shards)
+// instead of building and discarding an O(board) status slice; sources
+// that do not implement it fall back to len(ListJobs).
+type CountSource interface {
+	CountJobs(owner, state string) int
+}
+
 // HostSource is the optional Source extension behind GET /v1/hosts:
 // per-host health including circuit-breaker state. Sources that do not
 // implement it simply do not get the endpoint mounted (404), so
@@ -348,7 +358,12 @@ func (c Config) handleList(w http.ResponseWriter, r *http.Request, user string) 
 	// Count-only: an explicit limit=0 returns zero rows and the filtered
 	// total, regardless of pagination mode.
 	if limit == 0 && q.Get("limit") != "" {
-		total := len(c.Source.ListJobs(owner, state))
+		var total int
+		if cs, ok := c.Source.(CountSource); ok {
+			total = cs.CountJobs(owner, state)
+		} else {
+			total = len(c.Source.ListJobs(owner, state))
+		}
 		writeJSON(w, http.StatusOK, listResponse{
 			Jobs: []services.JobStatus{}, Limit: 0, Total: &total,
 		})

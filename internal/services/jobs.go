@@ -3,6 +3,7 @@ package services
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -215,53 +216,192 @@ func (u OwnerUpdate) Empty() bool {
 	return u.Weight == nil && u.MaxQueued == nil && u.MaxInFlight == nil && u.MaxHosts == nil
 }
 
+// boardShards is the JobBoard's fixed shard count. Shards are selected
+// by job-ID hash (Delete and Get receive only an ID, so the ID is the
+// only key every write path shares); 32 keeps per-shard row counts in
+// cache-friendly territory at a million jobs while the array of
+// padded-ish shard structs stays trivial.
+const boardShards = 32
+
 // JobBoard is the monitoring view of the submission pipeline: the
 // current status of every job plus per-state counters. It is safe for
 // concurrent use by the pipeline workers and monitoring readers.
+//
+// The board is sharded by job-ID hash so submit/terminalize publishes
+// and monitoring reads stop serializing on one lock: each shard has its
+// own mutex, rows, and incrementally maintained per-state and per-owner
+// aggregates, plus a generation-validated copy-on-write snapshot of its
+// rows (the PR 3 pattern) that listing reads share without holding any
+// lock. Writers bump the shard generation; a read finding the cached
+// snapshot's generation current reuses it, so a burst of listings over
+// an unchanged board sorts nothing, and a write only invalidates 1/32
+// of the board.
 type JobBoard struct {
-	mu    sync.Mutex
-	order []string
-	jobs  map[string]JobStatus
+	shards [boardShards]boardShard
+	// snapHits/snapRebuilds count snapshot reads served from the cache
+	// versus rebuilt — the observability of the sharded read path.
+	snapHits     atomic.Uint64
+	snapRebuilds atomic.Uint64
+}
+
+// boardShard is one hash shard: rows plus aggregates under a private
+// mutex, and the lock-free row snapshot readers share.
+type boardShard struct {
+	mu   sync.Mutex
+	gen  atomic.Uint64
+	jobs map[string]JobStatus
+	// counts tallies rows by state, maintained on every write, so
+	// Counts/InFlight/CountFiltered never scan rows.
+	counts map[string]int
+	// usage is the per-owner aggregate (the /v1/owners ground truth),
+	// maintained on every write; owners whose last retained row leaves
+	// the shard are deleted, so transient owners do not accrete.
+	usage map[string]ownerAgg
+	snap  atomic.Pointer[boardSnap]
+}
+
+// ownerAgg is one owner's aggregate within one shard: the public usage
+// counters plus the latest-submitted retained row's share weight. The
+// weight is what lets /v1/owners keep reporting an owner's
+// last-submitted weight after the admission queue pruned the drained
+// owner — the board rows are the surviving record, and they are bounded
+// by retention. lastAt/lastID order "latest" by the canonical
+// (SubmittedAt, ID) job order; if the latest row itself is evicted the
+// weight sticks at the last value seen, which is still the latest
+// submission the board knew about.
+type ownerAgg struct {
+	usage  OwnerUsage
+	lastAt time.Time
+	lastID string
+	weight int
+}
+
+// boardSnap is one shard's immutable published row set, in canonical
+// (SubmittedAt, ID) order, valid while gen matches the shard's.
+type boardSnap struct {
+	gen  uint64
+	rows []JobStatus
 }
 
 // NewJobBoard returns an empty board.
 func NewJobBoard() *JobBoard {
-	return &JobBoard{jobs: make(map[string]JobStatus)}
+	b := &JobBoard{}
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.jobs = make(map[string]JobStatus)
+		sh.counts = make(map[string]int)
+		sh.usage = make(map[string]ownerAgg)
+	}
+	return b
+}
+
+// shard maps a job ID to its home shard (FNV-1a).
+func (b *JobBoard) shard(id string) *boardShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return &b.shards[h%boardShards]
+}
+
+// apply folds one row into (sign=+1) or out of (sign=-1) the shard's
+// incremental aggregates. Caller holds sh.mu.
+func (sh *boardShard) apply(s JobStatus, sign int) {
+	sh.counts[s.State] += sign
+	if sh.counts[s.State] == 0 {
+		delete(sh.counts, s.State)
+	}
+	agg := sh.usage[s.Owner]
+	u := &agg.usage
+	switch s.State {
+	case JobStateQueued:
+		u.Queued += sign
+	case JobStateScheduling, JobStateRunning:
+		u.InFlight += sign
+	case JobStateDone:
+		u.Done += sign
+	case JobStateFailed:
+		u.Failed += sign
+	case JobStateCanceled:
+		u.Canceled += sign
+	}
+	u.HostsHeld += sign * s.HostsHeld
+	u.Total += sign
+	if u.Total == 0 {
+		delete(sh.usage, s.Owner)
+		return
+	}
+	if sign > 0 && (agg.weight == 0 || s.SubmittedAt.After(agg.lastAt) ||
+		(s.SubmittedAt.Equal(agg.lastAt) && s.ID >= agg.lastID)) {
+		agg.lastAt, agg.lastID, agg.weight = s.SubmittedAt, s.ID, s.ShareWeight
+	}
+	sh.usage[s.Owner] = agg
 }
 
 // Update records the latest status of a job, inserting it on first sight.
 func (b *JobBoard) Update(s JobStatus) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, ok := b.jobs[s.ID]; !ok {
-		b.order = append(b.order, s.ID)
+	sh := b.shard(s.ID)
+	sh.mu.Lock()
+	if old, ok := sh.jobs[s.ID]; ok {
+		sh.apply(old, -1)
 	}
-	b.jobs[s.ID] = s
+	sh.jobs[s.ID] = s
+	sh.apply(s, +1)
+	sh.gen.Add(1)
+	sh.mu.Unlock()
 }
 
 // Delete removes a job from the board (retention eviction). Unknown
 // IDs are a no-op.
 func (b *JobBoard) Delete(id string) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, ok := b.jobs[id]; !ok {
-		return
+	sh := b.shard(id)
+	sh.mu.Lock()
+	if old, ok := sh.jobs[id]; ok {
+		delete(sh.jobs, id)
+		sh.apply(old, -1)
+		sh.gen.Add(1)
 	}
-	delete(b.jobs, id)
-	for i, x := range b.order {
-		if x == id {
-			b.order = append(b.order[:i], b.order[i+1:]...)
-			break
-		}
-	}
+	sh.mu.Unlock()
 }
 
 // Get returns the last recorded status of one job.
 func (b *JobBoard) Get(id string) (JobStatus, bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	s, ok := b.jobs[id]
+	sh := b.shard(id)
+	sh.mu.Lock()
+	s, ok := sh.jobs[id]
+	sh.mu.Unlock()
 	return s, ok
+}
+
+// rows returns the shard's current sorted row snapshot, rebuilding it
+// only when a write invalidated the cached one. The returned slice is
+// immutable and shared: callers read, never mutate.
+func (sh *boardShard) rows(b *JobBoard) []JobStatus {
+	if s := sh.snap.Load(); s != nil && s.gen == sh.gen.Load() {
+		b.snapHits.Add(1)
+		return s.rows
+	}
+	sh.mu.Lock()
+	g := sh.gen.Load()
+	if s := sh.snap.Load(); s != nil && s.gen == g {
+		sh.mu.Unlock()
+		b.snapHits.Add(1)
+		return s.rows
+	}
+	rows := make([]JobStatus, 0, len(sh.jobs))
+	for _, s := range sh.jobs {
+		rows = append(rows, s)
+	}
+	SortJobs(rows)
+	sh.snap.Store(&boardSnap{gen: g, rows: rows})
+	sh.mu.Unlock()
+	b.snapRebuilds.Add(1)
+	return rows
 }
 
 // List returns every job status in stable (submission time, then ID)
@@ -273,70 +413,197 @@ func (b *JobBoard) List() []JobStatus {
 // ListFiltered returns the job statuses matching the owner and state
 // filters (empty strings match everything), in stable (submission time,
 // then ID) order — the deterministic base the job-control API paginates
-// over.
+// over. The scan walks the shards' immutable snapshots, so it holds no
+// lock while filtering and merging and never blocks a publish.
 func (b *JobBoard) ListFiltered(owner, state string) []JobStatus {
-	b.mu.Lock()
-	out := make([]JobStatus, 0, len(b.order))
-	for _, id := range b.order {
-		if s := b.jobs[id]; s.Matches(owner, state) {
-			out = append(out, s)
+	var out []JobStatus
+	for i := range b.shards {
+		for _, s := range b.shards[i].rows(b) {
+			if s.Matches(owner, state) {
+				out = append(out, s)
+			}
 		}
 	}
-	b.mu.Unlock()
 	SortJobs(out)
 	return out
 }
 
 // OwnerUsages aggregates the board by owner: per-phase job counts and
 // held hosts, keyed by owner name (the anonymous owner is ""). This is
-// the ground-truth source behind the /v1/owners counters.
+// the ground-truth source behind the /v1/owners counters. Served from
+// the shards' incremental aggregates — O(owners), not O(jobs), so a
+// million-job board answers in microseconds.
 func (b *JobBoard) OwnerUsages() map[string]OwnerUsage {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	out := make(map[string]OwnerUsage)
-	for _, s := range b.jobs {
-		u := out[s.Owner]
-		switch s.State {
-		case JobStateQueued:
-			u.Queued++
-		case JobStateScheduling, JobStateRunning:
-			u.InFlight++
-		case JobStateDone:
-			u.Done++
-		case JobStateFailed:
-			u.Failed++
-		case JobStateCanceled:
-			u.Canceled++
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		for owner, agg := range sh.usage {
+			u := out[owner]
+			u.Queued += agg.usage.Queued
+			u.InFlight += agg.usage.InFlight
+			u.HostsHeld += agg.usage.HostsHeld
+			u.Done += agg.usage.Done
+			u.Failed += agg.usage.Failed
+			u.Canceled += agg.usage.Canceled
+			u.Total += agg.usage.Total
+			out[owner] = u
 		}
-		u.HostsHeld += s.HostsHeld
-		u.Total++
-		out[s.Owner] = u
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// OwnerWeights reports, per owner with retained rows, the share weight
+// of the owner's latest-submitted row — the board-side weight memory
+// /v1/owners falls back to once the admission queue prunes a fully
+// drained owner. Owners whose rows carried no weight report 0.
+func (b *JobBoard) OwnerWeights() map[string]int {
+	type latest struct {
+		at time.Time
+		id string
+	}
+	seen := make(map[string]latest)
+	out := make(map[string]int)
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		for owner, agg := range sh.usage {
+			l, ok := seen[owner]
+			if !ok || agg.lastAt.After(l.at) || (agg.lastAt.Equal(l.at) && agg.lastID > l.id) {
+				seen[owner] = latest{at: agg.lastAt, id: agg.lastID}
+				out[owner] = agg.weight
+			}
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // Counts returns how many jobs sit in each state, keyed by state name.
+// Served from the shards' incremental tallies — no row scan.
 func (b *JobBoard) Counts() map[string]int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	out := make(map[string]int)
-	for _, s := range b.jobs {
-		out[s.State]++
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		for state, n := range sh.counts {
+			out[state] += n
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
-// InFlight returns how many jobs have been admitted but not finished.
-func (b *JobBoard) InFlight() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
+// CountFiltered returns how many retained rows match the owner and
+// state filters — the count-only listing (limit=0) without
+// materializing a single row. Unfiltered and single-filter counts come
+// straight from the incremental aggregates; the owner+state combination
+// falls back to a snapshot scan only for the two states the aggregates
+// merge (scheduling/running).
+func (b *JobBoard) CountFiltered(owner, state string) int {
+	if owner == "" {
+		if state == "" {
+			n := 0
+			for i := range b.shards {
+				sh := &b.shards[i]
+				sh.mu.Lock()
+				for _, c := range sh.counts {
+					n += c
+				}
+				sh.mu.Unlock()
+			}
+			return n
+		}
+		n := 0
+		for i := range b.shards {
+			sh := &b.shards[i]
+			sh.mu.Lock()
+			n += sh.counts[state]
+			sh.mu.Unlock()
+		}
+		return n
+	}
+	if state == "" {
+		n := 0
+		for i := range b.shards {
+			sh := &b.shards[i]
+			sh.mu.Lock()
+			if agg, ok := sh.usage[owner]; ok {
+				n += agg.usage.Total
+			}
+			sh.mu.Unlock()
+		}
+		return n
+	}
+	perState := func(u OwnerUsage) (int, bool) {
+		switch state {
+		case JobStateQueued:
+			return u.Queued, true
+		case JobStateDone:
+			return u.Done, true
+		case JobStateFailed:
+			return u.Failed, true
+		case JobStateCanceled:
+			return u.Canceled, true
+		}
+		return 0, false
+	}
 	n := 0
-	for _, s := range b.jobs {
-		if !s.Terminal() {
-			n++
+	exact := true
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		if agg, ok := sh.usage[owner]; ok {
+			c, ok := perState(agg.usage)
+			if !ok {
+				exact = false
+			}
+			n += c
+		}
+		sh.mu.Unlock()
+		if !exact {
+			break
+		}
+	}
+	if exact {
+		return n
+	}
+	// scheduling/running share one aggregate counter; count those the
+	// slow way, over the lock-free snapshots.
+	n = 0
+	for i := range b.shards {
+		for _, s := range b.shards[i].rows(b) {
+			if s.Matches(owner, state) {
+				n++
+			}
 		}
 	}
 	return n
+}
+
+// InFlight returns how many jobs have been admitted but not finished.
+func (b *JobBoard) InFlight() int {
+	n := 0
+	for i := range b.shards {
+		sh := &b.shards[i]
+		sh.mu.Lock()
+		n += sh.counts[JobStateQueued] + sh.counts[JobStateScheduling] + sh.counts[JobStateRunning]
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Len returns how many rows the board retains.
+func (b *JobBoard) Len() int {
+	return b.CountFiltered("", "")
+}
+
+// SnapshotStats reports how many shard-snapshot reads were served from
+// the generation-validated cache versus rebuilt after a write —
+// exported for the vdce_board_snapshots_total series.
+func (b *JobBoard) SnapshotStats() (hits, rebuilds uint64) {
+	return b.snapHits.Load(), b.snapRebuilds.Load()
 }
 
 // States lists the state names present on the board, sorted — a

@@ -25,6 +25,11 @@ type envMetrics struct {
 
 	// Scheduler.
 	roundLatency *obs.Histogram
+	// batchPops is the batched-handoff observability: how many jobs one
+	// worker wakeup drained from the admission queue (1 = the pre-batch
+	// behavior; the distribution shifting right under load is the
+	// amortization working).
+	batchPops *obs.Histogram
 
 	// Job lifecycle phase durations, observed when each boundary is
 	// crossed or at terminalize.
@@ -76,6 +81,9 @@ func newEnvMetrics(reg *obs.Registry) *envMetrics {
 		rejectQuota:     rejects.With("quota"),
 		roundLatency: reg.Histogram("vdce_scheduler_round_seconds",
 			"Site-scheduler round latency (Fig. 2 round per job).", obs.DefBuckets).With(),
+		batchPops: reg.Histogram("vdce_admission_batch_pops",
+			"Jobs drained from the admission queue per worker wakeup (batched handoff).",
+			obs.ExponentialBuckets(1, 2, 6)).With(),
 		phaseQueueWait:    phase.With("queue_wait"),
 		phaseDispatchWait: phase.With("dispatch_wait"),
 		phaseRun:          phase.With("run"),
@@ -109,6 +117,29 @@ func (env *Environment) registerDerived(reg *obs.Registry) {
 		"Jobs waiting in the admission queue across owners.", nil,
 		func(emit func(v float64, labelVals ...string)) {
 			emit(float64(pipe.admit.queuedLen()))
+		})
+	reg.GaugeFunc("vdce_admission_owners",
+		"Owner shares the admission queue currently tracks (live state only; drained owners are pruned).", nil,
+		func(emit func(v float64, labelVals ...string)) {
+			emit(float64(pipe.admit.ownerCount()))
+		})
+	reg.CounterFunc("vdce_admission_owner_prunes_total",
+		"Idle owner shares retired from the admission queue.", nil,
+		func(emit func(v float64, labelVals ...string)) {
+			emit(float64(pipe.admit.pruneCount()))
+		})
+	reg.GaugeFunc("vdce_board_jobs",
+		"Rows the sharded job board retains.", nil,
+		func(emit func(v float64, labelVals ...string)) {
+			emit(float64(env.Board.Len()))
+		})
+	reg.CounterFunc("vdce_board_snapshots_total",
+		"Board shard-snapshot reads, by result: served from the generation cache or rebuilt after a write.",
+		[]string{"result"},
+		func(emit func(v float64, labelVals ...string)) {
+			hits, rebuilds := env.Board.SnapshotStats()
+			emit(float64(hits), "hit")
+			emit(float64(rebuilds), "rebuild")
 		})
 	reg.GaugeFunc("vdce_jobs_inflight",
 		"Admitted jobs not yet terminal (board view).", nil,

@@ -65,6 +65,17 @@ type PipelineConfig struct {
 	// Retry-After). The zero value keeps the legacy block-until-slot
 	// behavior.
 	Shed ShedConfig
+	// DispatchBatch is how many fairly-arbitrated jobs one scheduler
+	// worker drains from the admission queue per wakeup, amortizing the
+	// queue lock and the wake token across the batch — at scale, one
+	// terminal job no longer costs one lock round-trip and one wakeup
+	// per dispatched job. A worker that drains a full batch re-arms
+	// another idle worker before processing, so deep backlogs still
+	// spread across all workers; with fewer eligible jobs than the
+	// batch, one worker processes them in pop order (latency bounded by
+	// batch size, so keep it small). Default 8; 1 restores per-job
+	// handoff.
+	DispatchBatch int
 }
 
 func (c *PipelineConfig) fillDefaults() {
@@ -85,6 +96,9 @@ func (c *PipelineConfig) fillDefaults() {
 	}
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = jobsapi.DefaultEventBuffer
+	}
+	if c.DispatchBatch <= 0 {
+		c.DispatchBatch = 8
 	}
 	c.Shed.fillDefaults()
 }
@@ -1454,18 +1468,43 @@ func (p *pipeline) services(home int) (*siteSvc, error) {
 	return s, nil
 }
 
-// worker pulls the highest-priority admitted job and runs its scheduling
-// round from the job's home site.
+// worker drains batches of fairly-arbitrated jobs from the admission
+// queue and runs their scheduling rounds from each job's home site. One
+// wakeup token buys up to DispatchBatch pops under a single queue lock
+// acquisition (the batched handoff); a full batch means more work
+// likely remains, so the worker re-arms another idle worker before it
+// starts processing, keeping deep backlogs spread across the pool.
+// Each job's queue-capacity slot frees when its round starts, exactly
+// as per-job handoff did — jobs still waiting in a worker's batch keep
+// counting against QueueDepth, so batching never weakens Submit
+// backpressure or the shed threshold.
 func (p *pipeline) worker() {
 	defer p.workerWG.Done()
+	batch := make([]*Job, 0, p.cfg.DispatchBatch)
 	for {
 		select {
 		case <-p.ctx.Done():
 			return
 		default:
 		}
-		job := p.admit.pop()
-		if job == nil {
+		// Bound the batch by free run capacity: popping a job commits
+		// its place in the dispatch order, so draining more jobs than
+		// the engine can start binds WFQ arbitration early — jobs
+		// submitted while the excess waits in this worker's buffer
+		// would be unfairly ordered behind it. With the engine choked
+		// this degrades to per-job handoff (late binding, exact
+		// fairness); with slots free the full batch amortizes the
+		// queue lock. The read is advisory — a slot freed or taken
+		// concurrently only shifts where the next batch cuts off.
+		max := p.cfg.DispatchBatch
+		if avail := cap(p.runSem) - len(p.runSem); avail < max {
+			max = avail
+			if max < 1 {
+				max = 1
+			}
+		}
+		batch = p.admit.popBatch(batch[:0], max)
+		if len(batch) == 0 {
 			select {
 			case <-p.ctx.Done():
 				return
@@ -1473,8 +1512,17 @@ func (p *pipeline) worker() {
 			}
 			continue
 		}
-		p.releaseSlot()
-		p.process(job)
+		if m := p.env.obsM; m != nil {
+			m.batchPops.Observe(float64(len(batch)))
+		}
+		if len(batch) == max {
+			p.wake()
+		}
+		for i, job := range batch {
+			batch[i] = nil // release the reference before the round runs
+			p.releaseSlot()
+			p.process(job)
+		}
 	}
 }
 
@@ -1551,8 +1599,9 @@ func (p *pipeline) process(job *Job) {
 // is deliberate backpressure: with the engine saturated, workers park
 // here, the admission queue fills, and Submit blocks — so the total
 // number of admitted-but-unfinished jobs stays bounded by QueueDepth +
-// SchedulerWorkers + MaxConcurrentRuns, plus hosts-parked jobs (the
-// pop-side parked gate bounds those per owner by the worker count).
+// SchedulerWorkers·DispatchBatch + MaxConcurrentRuns, plus hosts-parked
+// jobs (the pop-side parked gate bounds those per owner by the worker
+// count times the dispatch batch).
 // A job waiting for a slot
 // remains in the scheduling state (it is still in a worker's hands).
 // Jobs resuming from a hosts-quota park call this off-worker instead.
@@ -1587,9 +1636,11 @@ func (p *pipeline) parkForHosts(job *Job, table *core.AllocationTable, needed []
 		deadlineCh = timer.C
 	}
 	for {
-		// Fetch the broadcast channel before re-checking, so a release
-		// landing between the check and the wait still wakes us.
-		changed := p.admit.usageChanged()
+		// Fetch the owner's broadcast channel before re-checking, so a
+		// release landing between the check and the wait still wakes us.
+		// The channel is per owner: other owners' terminal jobs cannot
+		// wake this park.
+		changed := p.admit.usageChanged(job.Owner)
 		if p.admit.tryChargeHosts(job, needed) {
 			p.admit.setParked(job, false)
 			p.wake()
@@ -2002,6 +2053,18 @@ func (env *Environment) ListJobs(owner, state string) []services.JobStatus {
 	return out
 }
 
+// CountJobs returns how many retained jobs match the owner/state
+// filters — the jobsapi.CountSource backend of the count-only listing
+// (limit=0). It reads the job board's incremental per-state and
+// per-owner tallies, so a count over a million-job board costs
+// O(shards), never a status materialization per row. The board lags a
+// publish or a retention eviction by at most the instant between the
+// pipeline mutation and the matching board write, which a count-only
+// monitoring probe tolerates.
+func (env *Environment) CountJobs(owner, state string) int {
+	return env.Board.CountFiltered(owner, state)
+}
+
 // ListJobsAfter returns up to limit live job statuses matching the
 // owner/state filters that sort strictly after the cursor in canonical
 // (submission time, then ID) order, plus whether more matches may
@@ -2021,6 +2084,7 @@ func (env *Environment) ListJobsAfter(owner, state string, after jobsapi.Cursor,
 func (env *Environment) Owners() []services.OwnerStatus {
 	usages := env.Board.OwnerUsages()
 	weights := env.pipe.admit.ownerWeights()
+	boardWeights := env.Board.OwnerWeights()
 	names := make([]string, 0, len(usages)+len(weights))
 	for o := range usages {
 		names = append(names, o)
@@ -2033,15 +2097,21 @@ func (env *Environment) Owners() []services.OwnerStatus {
 	sort.Strings(names)
 	out := make([]services.OwnerStatus, 0, len(names))
 	for _, o := range names {
-		out = append(out, env.ownerStatus(o, usages[o]))
+		out = append(out, env.ownerStatus(o, usages[o], boardWeights[o]))
 	}
 	return out
 }
 
 // ownerStatus builds one owner's /v1/owners row from the admission
-// queue's effective admin state (per-owner overrides included).
-func (env *Environment) ownerStatus(owner string, usage services.OwnerUsage) services.OwnerStatus {
-	weight, pinned, caps, _ := env.pipe.admit.ownerAdmin(owner)
+// queue's effective admin state (per-owner overrides included). The
+// queue prunes fully drained owners, so for an owner it no longer
+// tracks the weight falls back to lastWeight — the latest-submitted
+// weight the job board remembers from the owner's retained rows.
+func (env *Environment) ownerStatus(owner string, usage services.OwnerUsage, lastWeight int) services.OwnerStatus {
+	weight, pinned, caps, _, known := env.pipe.admit.ownerAdmin(owner)
+	if !known && lastWeight >= 1 {
+		weight = lastWeight
+	}
 	return services.OwnerStatus{
 		Owner:        owner,
 		Weight:       clampShareWeight(weight),
@@ -2065,7 +2135,7 @@ func (env *Environment) UpdateOwner(owner string, upd services.OwnerUpdate) (ser
 	if upd.Empty() {
 		return services.OwnerStatus{}, errors.New("vdce: empty owner update")
 	}
-	_, _, cur, hadOverride := env.pipe.admit.ownerAdmin(owner)
+	_, _, cur, hadOverride, _ := env.pipe.admit.ownerAdmin(owner)
 	weight := 0
 	if upd.Weight != nil {
 		weight = clampShareWeight(*upd.Weight)
@@ -2088,7 +2158,7 @@ func (env *Environment) UpdateOwner(owner string, upd services.OwnerUpdate) (ser
 	// A raised cap may make a parked owner poppable again.
 	env.pipe.wake()
 	if env.pipe.store != nil {
-		w, pinned, eff, override := env.pipe.admit.ownerAdmin(owner)
+		w, pinned, eff, override, _ := env.pipe.admit.ownerAdmin(owner)
 		rec := store.OwnerRecord{Owner: owner, HasCaps: override}
 		if pinned {
 			rec.Weight = w
@@ -2100,7 +2170,7 @@ func (env *Environment) UpdateOwner(owner string, upd services.OwnerUpdate) (ser
 		}
 		_ = env.pipe.store.OwnerUpdated(rec)
 	}
-	return env.ownerStatus(owner, env.Board.OwnerUsages()[owner]), nil
+	return env.ownerStatus(owner, env.Board.OwnerUsages()[owner], 0), nil
 }
 
 // Job returns the live status of one submitted job.
